@@ -1,0 +1,190 @@
+// Command experiments runs the paper-reproduction experiment suite
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for recorded
+// outcomes):
+//
+//	experiments table1         Table 1 feasibility/state-space matrix (E1)
+//	experiments sweep          convergence cost vs N, all protocols (E12)
+//	experiments fullpop        Protocol 3 N=P cost blow-up (E12b)
+//	experiments recovery       corruption / re-convergence (E13)
+//	experiments ablation       U* vs naive sequence (E14)
+//	experiments separation     weak vs global fairness on Protocol 3 (E11)
+//	experiments slack          time price of exact space optimality (E15)
+//	experiments resetablation  Protocol 2 without its reset line (E16)
+//	experiments exact          exact expected convergence times (E17)
+//	experiments thm11          Theorem 11 beyond model-checkable sizes (E18)
+//	experiments trajectory     convergence trajectories (E19)
+//	experiments distribution   exact convergence-time distributions (E20)
+//	experiments oracle         constructive proof schedules (E21)
+//	experiments all            everything above
+//
+// With -json the selected experiments are emitted as one JSON document
+// on stdout instead of rendered tables.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"popnaming/internal/experiments"
+)
+
+// results accumulates the structured outputs for -json mode. Fields are
+// nil when the corresponding experiment was not selected.
+type results struct {
+	Table1        []experiments.Cell               `json:"table1,omitempty"`
+	Sweeps        []experiments.SweepResult        `json:"sweeps,omitempty"`
+	FullPop       *experiments.SweepResult         `json:"fullPopulation,omitempty"`
+	Recovery      []experiments.RecoveryResult     `json:"recovery,omitempty"`
+	UStarAblation *experiments.AblationResult      `json:"ustarAblation,omitempty"`
+	Separation    *experiments.SeparationResult    `json:"fairnessSeparation,omitempty"`
+	Slack         []experiments.SlackResult        `json:"slack,omitempty"`
+	ResetAblation *experiments.ResetAblationResult `json:"resetAblation,omitempty"`
+	Exact         []experiments.ExactPoint         `json:"exactTimes,omitempty"`
+	Thm11         []experiments.Thm11Point         `json:"thm11Scaling,omitempty"`
+	Trajectories  []experiments.Trajectory         `json:"trajectories,omitempty"`
+	Distributions []experiments.DistPoint          `json:"distributions,omitempty"`
+	Oracle        []experiments.OraclePoint        `json:"oracleSchedules,omitempty"`
+}
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "random seed")
+		p      = flag.Int("p", 6, "population bound for table1 simulation checks")
+		mcp    = flag.Int("mcp", 3, "population bound for exhaustive model checks")
+		maxP   = flag.Int("maxp", 4, "largest P for the full-population cost probe")
+		asJSON = flag.Bool("json", false, "emit structured JSON instead of tables")
+	)
+	flag.Parse()
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	switch which {
+	case "all", "table1", "sweep", "fullpop", "recovery", "ablation", "separation", "slack", "resetablation", "exact", "thm11", "trajectory", "distribution", "oracle":
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+
+	ok := true
+	runAll := which == "all"
+	var out results
+
+	if runAll || which == "table1" {
+		cells := experiments.Table1(experiments.Table1Options{P: *p, ModelCheckP: *mcp, Seed: *seed})
+		out.Table1 = cells
+		if !*asJSON {
+			experiments.RenderTable1(os.Stdout, cells)
+			fmt.Println()
+		}
+		for _, c := range cells {
+			if !c.OK {
+				ok = false
+			}
+		}
+	}
+	if runAll || which == "sweep" {
+		out.Sweeps = experiments.StandardSweeps(*seed)
+		if !*asJSON {
+			experiments.RenderSweeps(os.Stdout, out.Sweeps)
+			fmt.Println()
+		}
+	}
+	if runAll || which == "fullpop" {
+		fp := experiments.FullPopulationCost(*seed, *maxP)
+		out.FullPop = &fp
+		if !*asJSON {
+			experiments.RenderSweeps(os.Stdout, []experiments.SweepResult{fp})
+			fmt.Println()
+		}
+	}
+	if runAll || which == "recovery" {
+		out.Recovery = experiments.StandardRecovery(*seed)
+		if !*asJSON {
+			experiments.RenderRecovery(os.Stdout, out.Recovery)
+			fmt.Println()
+		}
+	}
+	if runAll || which == "ablation" {
+		ab := experiments.UStarAblation(3)
+		out.UStarAblation = &ab
+		if !*asJSON {
+			experiments.RenderAblation(os.Stdout, ab)
+			fmt.Println()
+		}
+	}
+	if runAll || which == "separation" {
+		sep := experiments.FairnessSeparation(3, *seed)
+		out.Separation = &sep
+		if !*asJSON {
+			experiments.RenderSeparation(os.Stdout, sep)
+			fmt.Println()
+		}
+	}
+	if runAll || which == "slack" {
+		out.Slack = experiments.StandardSlack(*seed)
+		if !*asJSON {
+			experiments.RenderSlack(os.Stdout, out.Slack)
+			fmt.Println()
+		}
+	}
+	if runAll || which == "resetablation" {
+		ra := experiments.ResetAblation(2)
+		out.ResetAblation = &ra
+		if !*asJSON {
+			experiments.RenderResetAblation(os.Stdout, ra)
+			fmt.Println()
+		}
+	}
+	if runAll || which == "exact" {
+		out.Exact = experiments.ExactTimes()
+		if !*asJSON {
+			experiments.RenderExact(os.Stdout, out.Exact)
+			fmt.Println()
+		}
+	}
+	if runAll || which == "thm11" {
+		out.Thm11 = experiments.Thm11Scaling(6, 500_000, *seed)
+		if !*asJSON {
+			experiments.RenderThm11(os.Stdout, out.Thm11)
+			fmt.Println()
+		}
+	}
+	if runAll || which == "trajectory" {
+		out.Trajectories = experiments.StandardTrajectories(*seed)
+		if !*asJSON {
+			experiments.RenderTrajectories(os.Stdout, out.Trajectories)
+			fmt.Println()
+		}
+	}
+	if runAll || which == "distribution" {
+		out.Distributions = experiments.Distributions(2000, *seed)
+		if !*asJSON {
+			experiments.RenderDistributions(os.Stdout, out.Distributions)
+			fmt.Println()
+		}
+	}
+	if runAll || which == "oracle" {
+		out.Oracle = experiments.OracleSchedules(*seed)
+		if !*asJSON {
+			experiments.RenderOracle(os.Stdout, out.Oracle)
+			fmt.Println()
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "experiments: some Table 1 cells disagree with the paper")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Command modelcheck decides convergence of a protocol instance exactly,
+// by explicit-state exploration: it builds the full reachability graph
+// from every configuration in the chosen start set, then checks
+// convergence to a valid naming under global fairness (terminal-SCC
+// analysis) and under weak fairness (fair-SCC analysis). When the
+// weak-fairness check fails it extracts and prints a concrete
+// counterexample lasso: a weakly fair schedule that never converges.
+// With -exact it additionally solves the induced absorbing Markov chain
+// for the exact expected number of interactions to convergence under the
+// uniform-random scheduler.
+//
+// Usage:
+//
+//	modelcheck -protocol globalp -p 3 -n 3
+//	modelcheck -protocol selfstab -p 2 -n 2 -allleaders
+//	modelcheck -protocol asym -p 3 -n 3 -exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"popnaming/internal/core"
+	"popnaming/internal/experiments"
+	"popnaming/internal/explore"
+	"popnaming/internal/markov"
+	"popnaming/internal/naming"
+	"popnaming/internal/seq"
+)
+
+func main() {
+	var (
+		protoKey   = flag.String("protocol", "globalp", "protocol to check (see namesim -list)")
+		p          = flag.Int("p", 3, "population bound P")
+		n          = flag.Int("n", 0, "population size N (default P)")
+		maxNodes   = flag.Int("maxnodes", 1<<21, "state-space cap")
+		exact      = flag.Bool("exact", false, "also compute exact expected convergence times")
+		allLeaders = flag.Bool("allleaders", false, "start from every leader state in domain (Protocol 2 only)")
+	)
+	flag.Parse()
+	if err := run(*protoKey, *p, *n, *maxNodes, *exact, *allLeaders); err != nil {
+		fmt.Fprintln(os.Stderr, "modelcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(protoKey string, p, n, maxNodes int, exact, allLeaders bool) error {
+	spec, err := experiments.Lookup(protoKey)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		n = p
+	}
+	proto := spec.New(p)
+
+	starts, err := buildStarts(proto, n, allLeaders)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol %s (P=%d, %d states), N=%d, %d starting configurations\n",
+		proto.Name(), p, proto.States(), n, len(starts))
+
+	g, err := explore.Build(proto, starts, explore.Options{MaxNodes: maxNodes})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reachable state space: %d configurations, %d transitions\n", g.Size(), g.EdgeCount())
+
+	gv := g.CheckGlobal(explore.Naming)
+	fmt.Printf("global fairness: %s\n", gv)
+
+	wv := g.CheckWeak(explore.Naming)
+	fmt.Printf("weak fairness:   %s\n", wv)
+	if !wv.OK {
+		lasso, lerr := g.ExtractLasso(wv.BadSCC)
+		if lerr != nil {
+			fmt.Printf("lasso extraction failed: %v\n", lerr)
+		} else {
+			fmt.Printf("counterexample %s\n", lasso)
+			fmt.Printf("  prefix: %v\n", lasso.Prefix)
+			fmt.Printf("  cycle:  %v\n", lasso.Cycle)
+		}
+	}
+
+	if exact {
+		chain, merr := markov.New(g)
+		if merr != nil {
+			fmt.Printf("exact analysis unavailable: %v\n", merr)
+			return nil
+		}
+		fmt.Printf("exact E[interactions] worst-case start: %.3f\n", chain.MaxExpected())
+		zero := core.NewConfig(n, 0)
+		if lp, ok := proto.(core.LeaderProtocol); ok {
+			zero.Leader = lp.InitLeader()
+		}
+		if e, zerr := chain.ExpectedSteps(zero); zerr == nil {
+			fmt.Printf("exact E[interactions] from all-zero start: %.3f\n", e)
+		}
+	}
+	return nil
+}
+
+// buildStarts enumerates every mobile configuration; leader protocols
+// get the initialized leader, or — with allLeaders, for Protocol 2 —
+// every leader state in the declared domain.
+func buildStarts(proto core.Protocol, n int, allLeaders bool) ([]*core.Config, error) {
+	q := proto.States()
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= q
+	}
+	if total > 1<<20 {
+		return nil, fmt.Errorf("start set of %d configurations too large", total)
+	}
+	var leaders []core.LeaderState
+	switch lp := proto.(type) {
+	case *naming.SelfStab:
+		if allLeaders {
+			for nn := 0; nn <= lp.P()+1; nn++ {
+				for k := 0; k <= seq.Len(lp.P())+1; k++ {
+					leaders = append(leaders, naming.ResetBST{N: nn, K: k})
+				}
+			}
+		} else {
+			leaders = append(leaders, lp.InitLeader())
+		}
+	case core.LeaderProtocol:
+		if allLeaders {
+			return nil, fmt.Errorf("-allleaders is only supported for the selfstab protocol")
+		}
+		leaders = append(leaders, lp.InitLeader())
+	default:
+		leaders = append(leaders, nil)
+	}
+
+	var out []*core.Config
+	states := make([]core.State, n)
+	for code := 0; code < total; code++ {
+		c := code
+		for i := range states {
+			states[i] = core.State(c % q)
+			c /= q
+		}
+		for _, l := range leaders {
+			cfg := core.NewConfigStates(states...)
+			if l != nil {
+				cfg.Leader = l.Clone()
+			}
+			out = append(out, cfg)
+		}
+	}
+	return out, nil
+}

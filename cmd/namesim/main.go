@@ -1,0 +1,168 @@
+// Command namesim runs one naming-protocol execution and reports the
+// outcome: final configuration, interaction counts, and (optionally) a
+// fairness audit of the schedule that was played.
+//
+// Usage:
+//
+//	namesim -protocol asym -p 8 -n 8 -sched roundrobin -init zero
+//	namesim -protocol selfstab -p 6 -n 6 -sched random -init arbitrary -audit
+//	namesim -protocol symglobal -p 5 -n 4 -sched matching -budget 100000
+//
+// Protocols: asym, symglobal, initleader, selfstab, globalp, counting,
+// naive (see -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"popnaming/internal/adversary"
+	"popnaming/internal/core"
+	"popnaming/internal/experiments"
+	"popnaming/internal/fairness"
+	"popnaming/internal/sched"
+	"popnaming/internal/sim"
+	"popnaming/internal/trace"
+)
+
+func main() {
+	var (
+		protoKey = flag.String("protocol", "asym", "protocol to run (see -list)")
+		p        = flag.Int("p", 8, "population bound P")
+		n        = flag.Int("n", 0, "population size N (default P)")
+		schedKey = flag.String("sched", "random", "scheduler: random | roundrobin | matching | eclipse")
+		initKey  = flag.String("init", "zero", "initialization: zero | uniform | arbitrary")
+		seed     = flag.Int64("seed", 1, "random seed")
+		budget   = flag.Int("budget", 50_000_000, "max interactions")
+		audit    = flag.Bool("audit", false, "audit the played schedule for weak fairness")
+		adv      = flag.Bool("adversary", false, "use the greedy anti-naming adversary (enforced weak fairness) instead of -sched")
+		hidden   = flag.Int("hidden", 0, "eclipse scheduler: agent to hide")
+		hide     = flag.Int("hide", 100000, "eclipse scheduler: steps to hide for")
+		list     = flag.Bool("list", false, "list protocols and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range experiments.RegistryKeys() {
+			spec, _ := experiments.Lookup(k)
+			fmt.Printf("%-12s %-7s %s\n", spec.Key, spec.Fairness, spec.Description)
+		}
+		return
+	}
+	if err := run(*protoKey, *p, *n, *schedKey, *initKey, *seed, *budget, *audit, *adv, *hidden, *hide); err != nil {
+		fmt.Fprintln(os.Stderr, "namesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(protoKey string, p, n int, schedKey, initKey string, seed int64, budget int, audit, adv bool, hidden, hide int) error {
+	spec, err := experiments.Lookup(protoKey)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		n = p
+	}
+	if n > p {
+		return fmt.Errorf("population size %d exceeds bound P=%d", n, p)
+	}
+	proto := spec.New(p)
+
+	cfg, err := buildConfig(proto, n, initKey, seed)
+	if err != nil {
+		return err
+	}
+	if adv {
+		return runAdversarial(proto, cfg, n, initKey, budget, audit)
+	}
+	s, err := buildScheduler(proto, n, schedKey, seed, hidden, hide)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("protocol %s (P=%d, %d states/agent, symmetric=%v, leader=%v)\n",
+		proto.Name(), proto.P(), proto.States(), proto.Symmetric(), core.HasLeader(proto))
+	fmt.Printf("population N=%d, scheduler %s, init %s, seed %d\n", n, s.Name(), initKey, seed)
+	fmt.Printf("start: %s\n", cfg)
+
+	runner := sim.NewRunner(proto, s, cfg)
+	var col trace.Collector
+	if audit {
+		runner.OnStep = col.Record
+	}
+	res := runner.Run(budget)
+	fmt.Printf("result: %s\n", res)
+	fmt.Printf("valid naming: %v\n", cfg.ValidNaming())
+	if res.Converged {
+		fmt.Printf("parallel time: %.1f\n", res.ParallelTime(n))
+	}
+	if audit {
+		a := fairness.AuditPairs(col.Pairs(), n, core.HasLeader(proto))
+		fmt.Printf("%s\n", a)
+	}
+	return nil
+}
+
+// runAdversarial drives the execution with the greedy anti-naming
+// adversary under mechanically enforced weak fairness.
+func runAdversarial(proto core.Protocol, cfg *core.Config, n int, initKey string, budget int, audit bool) error {
+	fmt.Printf("protocol %s (P=%d, %d states/agent), N=%d, greedy adversary, init %s\n",
+		proto.Name(), proto.P(), proto.States(), n, initKey)
+	fmt.Printf("start: %s\n", cfg)
+	runner := adversary.NewRunner(proto, cfg, adversary.NewGreedyNaming(proto))
+	var col trace.Collector
+	if audit {
+		runner.OnStep = col.Record
+	}
+	silent := runner.Run(budget)
+	fmt.Printf("silent: %v after %d interactions (%d fairness-forced)\n",
+		silent, runner.Steps(), runner.Forced())
+	fmt.Printf("valid naming: %v\nfinal: %s\n", cfg.ValidNaming(), cfg)
+	if audit {
+		a := fairness.AuditPairs(col.Pairs(), n, core.HasLeader(proto))
+		fmt.Printf("%s\n", a)
+	}
+	return nil
+}
+
+func buildConfig(proto core.Protocol, n int, initKey string, seed int64) (*core.Config, error) {
+	switch initKey {
+	case "zero":
+		cfg := core.NewConfig(n, 0)
+		if lp, ok := proto.(core.LeaderProtocol); ok {
+			cfg.Leader = lp.InitLeader()
+		}
+		return cfg, nil
+	case "uniform":
+		return sim.UniformConfig(proto, n), nil
+	case "arbitrary":
+		ap, ok := proto.(core.ArbitraryInitProtocol)
+		if !ok {
+			return nil, fmt.Errorf("protocol %q does not support arbitrary initialization", proto.Name())
+		}
+		return sim.ArbitraryConfig(ap, n, rand.New(rand.NewSource(seed))), nil
+	default:
+		return nil, fmt.Errorf("unknown init %q (zero | uniform | arbitrary)", initKey)
+	}
+}
+
+func buildScheduler(proto core.Protocol, n int, schedKey string, seed int64, hidden, hide int) (sched.Scheduler, error) {
+	withLeader := core.HasLeader(proto)
+	switch schedKey {
+	case "random":
+		return sched.NewRandom(n, withLeader, seed), nil
+	case "roundrobin":
+		return sched.NewRoundRobin(n, withLeader), nil
+	case "matching":
+		if withLeader {
+			return nil, fmt.Errorf("matching scheduler is leaderless only")
+		}
+		return sched.NewMatching(n), nil
+	case "eclipse":
+		return sched.NewEclipse(n, withLeader, hidden, hide, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q (random | roundrobin | matching | eclipse)", schedKey)
+	}
+}

@@ -1,0 +1,61 @@
+// Sensor-fleet provisioning: a base station names factory-fresh tags.
+//
+// The paper's motivating scenario: tiny mobile sensing devices with a
+// few bits of memory, plus one resource-rich base station (the leader).
+// At deployment all tags are identical (uniform initialization), so
+// Proposition 14's protocol names them with the absolute minimum of P
+// states per tag — the counter lives on the base station.
+//
+// The demo then shows the price of that minimalism: if a deployed tag's
+// memory is corrupted after provisioning, the Prop 14 protocol cannot
+// repair it (it is not self-stabilizing), while re-provisioning with
+// Protocol 2 (one extra state per tag) heals the fleet in place.
+//
+//	go run ./examples/sensorfleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popnaming/internal/core"
+	"popnaming/internal/naming"
+	"popnaming/internal/sched"
+	"popnaming/internal/sim"
+)
+
+func main() {
+	const fleet = 12
+
+	// --- Provisioning with the space-minimal Prop 14 protocol. ---
+	prov := naming.NewInitLeader(fleet)
+	cfg := sim.UniformConfig(prov, fleet) // all tags factory-fresh
+	fmt.Println("factory state:", cfg)
+
+	res := sim.NewRunner(prov, sched.NewRandom(fleet, true, 3), cfg).Run(10_000_000)
+	if !res.Converged || !cfg.ValidNaming() {
+		log.Fatalf("provisioning failed: %s", res)
+	}
+	fmt.Printf("provisioned %d tags with %d states each in %d meetings: %s\n",
+		fleet, prov.States(), res.Steps, cfg)
+
+	// --- A field fault: one tag's register flips to a duplicate. ---
+	cfg.Mobile[3] = cfg.Mobile[7]
+	fmt.Println("after fault:", cfg)
+	if core.Silent(prov, cfg) && !cfg.ValidNaming() {
+		fmt.Println("Prop 14 protocol is stuck: minimal state space cannot self-repair")
+	}
+
+	// --- Healing with Protocol 2: one extra state per tag. ---
+	heal := naming.NewSelfStab(fleet)
+	// The tags keep their current (now-duplicated) registers; the base
+	// station's counters are whatever they are — Protocol 2 does not
+	// care.
+	healCfg := core.NewConfigStates(cfg.Mobile...).WithLeader(heal.InitLeader())
+	res = sim.NewRunner(heal, sched.NewRandom(fleet, true, 4), healCfg).Run(50_000_000)
+	if !res.Converged || !healCfg.ValidNaming() {
+		log.Fatalf("healing failed: %s", res)
+	}
+	fmt.Printf("healed with %d states per tag in %d meetings: %s\n",
+		heal.States(), res.Steps, healCfg)
+}

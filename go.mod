@@ -1,0 +1,3 @@
+module popnaming
+
+go 1.22

@@ -1,0 +1,77 @@
+package core
+
+import "testing"
+
+// FuzzRuleTable builds rule tables from arbitrary byte strings and
+// checks the structural invariants: AddSymmetric always yields a table
+// that passes CheckProtocol and whose Symmetric claim holds, and Mobile
+// round-trips every added rule.
+func FuzzRuleTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint8(3))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(4))
+	f.Fuzz(func(t *testing.T, choices []byte, qRaw uint8) {
+		q := int(qRaw%6) + 2
+		tab := NewRuleTable("fuzz", q, q)
+		for i := 0; i+3 < len(choices); i += 4 {
+			p := State(int(choices[i]) % q)
+			r := State(int(choices[i+1]) % q)
+			p2 := State(int(choices[i+2]) % q)
+			q2 := State(int(choices[i+3]) % q)
+			if p == r {
+				tab.AddSymmetric(p, r, p2, p2)
+			} else {
+				tab.AddSymmetric(p, r, p2, q2)
+			}
+		}
+		if !tab.Symmetric() {
+			t.Fatal("AddSymmetric-only table not symmetric")
+		}
+		if err := CheckProtocol(tab); err != nil {
+			t.Fatalf("CheckProtocol: %v", err)
+		}
+		// Mirror property holds pointwise.
+		for x := 0; x < q; x++ {
+			for y := 0; y < q; y++ {
+				x2, y2 := tab.Mobile(State(x), State(y))
+				my2, mx2 := tab.Mobile(State(y), State(x))
+				if mx2 != x2 || my2 != y2 {
+					t.Fatalf("mirror mismatch at (%d,%d)", x, y)
+				}
+			}
+		}
+	})
+}
+
+// FuzzConfigKeys checks Key/MultisetKey consistency on arbitrary
+// configurations: equal vectors have equal keys; MultisetKey is
+// invariant under reversal; Clone preserves both.
+func FuzzConfigKeys(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0, 0, 0, 5})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		states := make([]State, len(raw))
+		for i, b := range raw {
+			states[i] = State(b % 16)
+		}
+		c := NewConfigStates(states...)
+		d := c.Clone()
+		if c.Key() != d.Key() || c.MultisetKey() != d.MultisetKey() {
+			t.Fatal("clone changed keys")
+		}
+		// Reverse and compare multiset keys.
+		rev := make([]State, len(states))
+		for i, s := range states {
+			rev[len(states)-1-i] = s
+		}
+		e := NewConfigStates(rev...)
+		if c.MultisetKey() != e.MultisetKey() {
+			t.Fatal("multiset key not permutation-invariant")
+		}
+		if len(states) > 1 && states[0] != states[len(states)-1] && c.Key() == e.Key() {
+			t.Fatal("identity key ignored order")
+		}
+		if c.ValidNaming() != e.ValidNaming() {
+			t.Fatal("naming predicate not permutation-invariant")
+		}
+	})
+}

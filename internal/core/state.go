@@ -1,0 +1,73 @@
+// Package core defines the population-protocol computation model used
+// throughout this repository: agent states, configurations, deterministic
+// pairwise transition protocols (with or without a distinguished leader),
+// and structural validation of protocols (determinism, closure, symmetry).
+//
+// The model follows Burman, Beauquier and Sohier, "Space-Optimal Naming in
+// Population Protocols" (2018): a population of N anonymous mobile agents,
+// each holding a state from a finite set Q whose size depends only on a
+// known upper bound P >= N, interacts in pairs chosen by a scheduler.
+// Optionally a unique distinguishable agent, the leader (base station),
+// participates in interactions; its state space is unconstrained.
+package core
+
+import "fmt"
+
+// State is the state of a mobile agent. Protocols use the contiguous range
+// [0, States()) where States() is the per-agent state count; in the naming
+// protocols states double as names, with special roles documented by each
+// protocol (for example state 0 is the "unnamed / homonym sink" in the
+// BST-based protocols).
+type State int
+
+// LeaderIndex is the agent index that denotes the leader in scheduler
+// pairs and trace events. Mobile agents use indices 0..N-1.
+const LeaderIndex = -1
+
+// Pair identifies an ordered interaction between two agents: A is the
+// initiator, B the responder. Either field may be LeaderIndex (but not
+// both); for symmetric protocols the order carries no information.
+type Pair struct {
+	A, B int
+}
+
+// Involves reports whether agent index i takes part in the pair.
+func (p Pair) Involves(i int) bool { return p.A == i || p.B == i }
+
+// HasLeader reports whether one side of the pair is the leader.
+func (p Pair) HasLeader() bool { return p.A == LeaderIndex || p.B == LeaderIndex }
+
+// MobilePeer returns the non-leader side of a leader pair. It panics if
+// the pair does not involve the leader.
+func (p Pair) MobilePeer() int {
+	switch {
+	case p.A == LeaderIndex:
+		return p.B
+	case p.B == LeaderIndex:
+		return p.A
+	default:
+		panic(fmt.Sprintf("core: pair %v does not involve the leader", p))
+	}
+}
+
+// Valid reports whether the pair is well formed for a population of n
+// mobile agents with (withLeader) or without a leader.
+func (p Pair) Valid(n int, withLeader bool) bool {
+	ok := func(i int) bool {
+		if i == LeaderIndex {
+			return withLeader
+		}
+		return i >= 0 && i < n
+	}
+	return ok(p.A) && ok(p.B) && p.A != p.B
+}
+
+func (p Pair) String() string {
+	side := func(i int) string {
+		if i == LeaderIndex {
+			return "L"
+		}
+		return fmt.Sprintf("%d", i)
+	}
+	return fmt.Sprintf("(%s,%s)", side(p.A), side(p.B))
+}

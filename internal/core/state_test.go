@@ -1,0 +1,78 @@
+package core
+
+import "testing"
+
+func TestPairInvolves(t *testing.T) {
+	p := Pair{A: 2, B: 5}
+	cases := []struct {
+		i    int
+		want bool
+	}{
+		{2, true}, {5, true}, {0, false}, {LeaderIndex, false},
+	}
+	for _, c := range cases {
+		if got := p.Involves(c.i); got != c.want {
+			t.Errorf("Involves(%d) = %v, want %v", c.i, got, c.want)
+		}
+	}
+}
+
+func TestPairHasLeader(t *testing.T) {
+	if (Pair{A: 0, B: 1}).HasLeader() {
+		t.Error("mobile pair reported a leader")
+	}
+	if !(Pair{A: LeaderIndex, B: 1}).HasLeader() {
+		t.Error("leader-first pair not detected")
+	}
+	if !(Pair{A: 1, B: LeaderIndex}).HasLeader() {
+		t.Error("leader-second pair not detected")
+	}
+}
+
+func TestPairMobilePeer(t *testing.T) {
+	if got := (Pair{A: LeaderIndex, B: 3}).MobilePeer(); got != 3 {
+		t.Errorf("MobilePeer = %d, want 3", got)
+	}
+	if got := (Pair{A: 7, B: LeaderIndex}).MobilePeer(); got != 7 {
+		t.Errorf("MobilePeer = %d, want 7", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MobilePeer on mobile pair did not panic")
+		}
+	}()
+	(Pair{A: 0, B: 1}).MobilePeer()
+}
+
+func TestPairValid(t *testing.T) {
+	cases := []struct {
+		pair       Pair
+		n          int
+		withLeader bool
+		want       bool
+	}{
+		{Pair{0, 1}, 2, false, true},
+		{Pair{1, 0}, 2, false, true},
+		{Pair{0, 0}, 2, false, false},
+		{Pair{0, 2}, 2, false, false},
+		{Pair{-1, 0}, 2, false, false},
+		{Pair{-1, 0}, 2, true, true},
+		{Pair{0, -1}, 2, true, true},
+		{Pair{-1, -1}, 2, true, false},
+		{Pair{-2, 0}, 2, true, false},
+	}
+	for _, c := range cases {
+		if got := c.pair.Valid(c.n, c.withLeader); got != c.want {
+			t.Errorf("%v.Valid(%d, %v) = %v, want %v", c.pair, c.n, c.withLeader, got, c.want)
+		}
+	}
+}
+
+func TestPairString(t *testing.T) {
+	if got := (Pair{A: LeaderIndex, B: 4}).String(); got != "(L,4)" {
+		t.Errorf("String = %q, want (L,4)", got)
+	}
+	if got := (Pair{A: 1, B: 2}).String(); got != "(1,2)" {
+		t.Errorf("String = %q, want (1,2)", got)
+	}
+}

@@ -1,0 +1,58 @@
+package counting
+
+import (
+	"testing"
+
+	"popnaming/internal/core"
+	"popnaming/internal/seq"
+)
+
+// FuzzCountingStep checks the BST-update invariants on arbitrary
+// inputs: outputs stay in their declared domains, the guess never
+// decreases, and the null case leaves everything untouched.
+func FuzzCountingStep(f *testing.F) {
+	f.Add(0, 0, 0, 4)
+	f.Add(3, 7, 2, 4)
+	f.Add(5, 100, 9, 6)
+	f.Add(2, 2, 0, 8)
+	f.Fuzz(func(t *testing.T, n, k, x, p int) {
+		if p < 2 || p > 16 {
+			p = 2 + (abs(p) % 15)
+		}
+		maxName := p - 1
+		nLimit := p
+		n = abs(n) % (nLimit + 1)
+		k = abs(k) % (seq.Len(maxName) + 2)
+		xs := core.State(abs(x) % p)
+
+		n2, k2, x2 := CountingStep(n, k, xs, nLimit, maxName)
+		if n2 < n || n2 > nLimit {
+			t.Fatalf("guess left [%d, %d]: %d -> %d", n, nLimit, n, n2)
+		}
+		if k2 < 0 || k2 > seq.Len(maxName)+1 {
+			t.Fatalf("pointer out of domain: %d", k2)
+		}
+		if int(x2) < 0 || int(x2) >= p {
+			t.Fatalf("mobile state out of range: %d", x2)
+		}
+		// Null iff the guard fails.
+		guard := n < nLimit && (xs == 0 || int(xs) > n)
+		if !guard && (n2 != n || k2 != k || x2 != xs) {
+			t.Fatalf("guard failed but state changed: (%d,%d,%d) -> (%d,%d,%d)",
+				n, k, xs, n2, k2, x2)
+		}
+		if guard && n2 == n && k2 == k && x2 == xs {
+			t.Fatalf("guard held but nothing changed: (%d,%d,%d)", n, k, xs)
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == -v { // math.MinInt
+			return 0
+		}
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"popnaming/internal/core"
+	"popnaming/internal/naming"
+	"popnaming/internal/sched"
+)
+
+func protoAsym(p int) core.Protocol { return naming.NewAsymmetric(p) }
+
+func protoSelfStab(p int) core.ArbitraryInitProtocol { return naming.NewSelfStab(p) }
+
+func protoSymGlobal(p int) core.Protocol { return naming.NewSymGlobal(p) }
+
+func schedRandom(n int, leader bool, seed int64) sched.Scheduler {
+	return sched.NewRandom(n, leader, seed)
+}

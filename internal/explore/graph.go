@@ -1,0 +1,229 @@
+// Package explore is an explicit-state model checker for population
+// protocols on small instances. It builds the reachability graph of a
+// protocol from a set of starting configurations, where edges are
+// labeled with the unordered agent pair whose interaction produced them,
+// and decides convergence questions exactly:
+//
+//   - Under global fairness, an execution eventually enters a terminal
+//     SCC of the reachability graph and visits all of its configurations
+//     infinitely often; a protocol converges to a predicate iff every
+//     reachable terminal SCC is a singleton silent configuration
+//     satisfying the predicate (CheckGlobal).
+//
+//   - Under weak fairness, the possible limit behaviours are exactly the
+//     "fair" SCCs: strongly connected sub-graphs containing, for every
+//     unordered agent pair, at least one internal edge with that label
+//     (a walk can then schedule every pair infinitely often without
+//     leaving the SCC, and conversely the infinitely-visited set of any
+//     weakly fair execution is such an SCC). A protocol converges under
+//     weak fairness iff every reachable fair SCC is a singleton silent
+//     configuration satisfying the predicate (CheckWeak). For failing
+//     protocols, ExtractLasso produces a concrete weakly fair
+//     non-converging schedule that can be replayed by the simulator.
+//
+// The graph is exponential in the population size; Options.MaxNodes
+// guards against blow-up.
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"popnaming/internal/core"
+)
+
+// ErrTooLarge is returned when the reachable state space exceeds
+// Options.MaxNodes.
+var ErrTooLarge = errors.New("explore: state space exceeds node limit")
+
+// Edge is one labeled transition of the reachability graph.
+type Edge struct {
+	// To is the destination node id.
+	To int
+	// Label indexes the unordered pair alphabet (Graph.Labels).
+	Label int
+	// Ordered is the concrete ordered pair applied (for asymmetric
+	// protocols the two orientations of a label may differ).
+	Ordered core.Pair
+}
+
+// Options configures graph construction.
+type Options struct {
+	// MaxNodes caps the explored state space (default 1 << 20).
+	MaxNodes int
+	// Canonical quotients configurations by agent permutation
+	// (multiset semantics). Sound for global-fairness analysis of the
+	// permutation-invariant predicates used here; weak-fairness analysis
+	// requires identity-preserving graphs and rejects this option.
+	Canonical bool
+}
+
+// Graph is the reachability graph of a protocol instance.
+type Graph struct {
+	Proto core.Protocol
+	N     int
+	// Labels is the unordered pair alphabet: every {i, j} over mobile
+	// agents plus {leader, i} when the protocol has a leader.
+	Labels []core.Pair
+	// Nodes holds one representative configuration per node id.
+	Nodes []*core.Config
+	// Succ[v] lists v's outgoing edges (up to two per label).
+	Succ [][]Edge
+	// Start lists the node ids of the starting configurations.
+	Start []int
+
+	canonical bool
+	keyOf     map[string]int
+}
+
+func (g *Graph) key(c *core.Config) string {
+	if g.canonical {
+		return c.MultisetKey()
+	}
+	return c.Key()
+}
+
+// unorderedLabels enumerates the pair alphabet.
+func unorderedLabels(n int, withLeader bool) []core.Pair {
+	var out []core.Pair
+	lo := 0
+	if withLeader {
+		lo = -1
+	}
+	for a := lo; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			out = append(out, core.Pair{A: a, B: b})
+		}
+	}
+	return out
+}
+
+// Build explores the reachability graph of proto from the given starting
+// configurations (all of the same population size).
+func Build(proto core.Protocol, starts []*core.Config, opts Options) (*Graph, error) {
+	if len(starts) == 0 {
+		return nil, errors.New("explore: no starting configurations")
+	}
+	n := starts[0].N()
+	for _, c := range starts {
+		if c.N() != n {
+			return nil, fmt.Errorf("explore: mixed population sizes %d and %d", n, c.N())
+		}
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 1 << 20
+	}
+	g := &Graph{
+		Proto:     proto,
+		N:         n,
+		Labels:    unorderedLabels(n, core.HasLeader(proto)),
+		canonical: opts.Canonical,
+		keyOf:     make(map[string]int),
+	}
+
+	intern := func(c *core.Config) (int, error) {
+		k := g.key(c)
+		if id, ok := g.keyOf[k]; ok {
+			return id, nil
+		}
+		if len(g.Nodes) >= opts.MaxNodes {
+			return 0, ErrTooLarge
+		}
+		id := len(g.Nodes)
+		g.keyOf[k] = id
+		g.Nodes = append(g.Nodes, c.Clone())
+		g.Succ = append(g.Succ, nil)
+		return id, nil
+	}
+
+	var frontier []int
+	for _, c := range starts {
+		before := len(g.Nodes)
+		id, err := intern(c)
+		if err != nil {
+			return nil, err
+		}
+		g.Start = append(g.Start, id)
+		if len(g.Nodes) > before {
+			frontier = append(frontier, id)
+		}
+	}
+
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		src := g.Nodes[v]
+		for li, label := range g.Labels {
+			for _, ordered := range orientations(label, proto.Symmetric()) {
+				next := src.Clone()
+				core.ApplyPair(proto, next, ordered)
+				before := len(g.Nodes)
+				to, err := intern(next)
+				if err != nil {
+					return nil, err
+				}
+				if len(g.Nodes) > before {
+					frontier = append(frontier, to)
+				}
+				g.Succ[v] = append(g.Succ[v], Edge{To: to, Label: li, Ordered: ordered})
+			}
+		}
+	}
+	return g, nil
+}
+
+// orientations returns the ordered pairs to apply for an unordered
+// label: one for symmetric protocols, both for asymmetric ones (the
+// scheduler also chooses the initiator role).
+func orientations(label core.Pair, symmetric bool) []core.Pair {
+	if symmetric {
+		return []core.Pair{label}
+	}
+	return []core.Pair{label, {A: label.B, B: label.A}}
+}
+
+// AllConfigs enumerates every configuration of n mobile agents over
+// states [0, q), attaching a clone of the given leader state to each
+// (nil for leaderless protocols) — the standard start set for
+// exhaustive checks.
+func AllConfigs(q, n int, leader core.LeaderState) []*core.Config {
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= q
+	}
+	out := make([]*core.Config, 0, total)
+	states := make([]core.State, n)
+	for code := 0; code < total; code++ {
+		c := code
+		for i := range states {
+			states[i] = core.State(c % q)
+			c /= q
+		}
+		cfg := core.NewConfigStates(states...)
+		if leader != nil {
+			cfg.Leader = leader.Clone()
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// Size returns the number of nodes.
+func (g *Graph) Size() int { return len(g.Nodes) }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, es := range g.Succ {
+		total += len(es)
+	}
+	return total
+}
+
+// NodeID returns the node id of a configuration, or -1 if unexplored.
+func (g *Graph) NodeID(c *core.Config) int {
+	if id, ok := g.keyOf[g.key(c)]; ok {
+		return id
+	}
+	return -1
+}

@@ -1,0 +1,136 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"popnaming/internal/core"
+)
+
+// Lasso is a concrete infinite schedule witnessing non-convergence under
+// weak fairness: after the Prefix, repeating the Cycle forever yields a
+// weakly fair execution (the cycle contains every unordered pair) along
+// which the protocol never stabilizes to the required predicate. By
+// determinism, the configuration reached after the prefix recurs after
+// every repetition of the cycle.
+type Lasso struct {
+	Prefix []core.Pair
+	Cycle  []core.Pair
+}
+
+// Schedule returns the prefix followed by `repeats` copies of the cycle,
+// ready to feed a replay scheduler.
+func (l Lasso) Schedule(repeats int) []core.Pair {
+	out := make([]core.Pair, 0, len(l.Prefix)+repeats*len(l.Cycle))
+	out = append(out, l.Prefix...)
+	for i := 0; i < repeats; i++ {
+		out = append(out, l.Cycle...)
+	}
+	return out
+}
+
+func (l Lasso) String() string {
+	return fmt.Sprintf("lasso: prefix %d pairs, cycle %d pairs", len(l.Prefix), len(l.Cycle))
+}
+
+// ExtractLasso builds a concrete weakly fair lasso into the given SCC
+// (typically Verdict.BadSCC from a failed CheckWeak): a path from a
+// starting configuration to the component, then a cycle inside the
+// component that uses at least one edge of every pair label and returns
+// to its first node. It requires an identity-preserving graph and a fair
+// SCC.
+func (g *Graph) ExtractLasso(s *SCC) (Lasso, error) {
+	if g.canonical {
+		return Lasso{}, errors.New("explore: lasso extraction requires an identity-preserving graph")
+	}
+	if !s.Fair() {
+		return Lasso{}, errors.New("explore: SCC is not fair; no weakly fair execution stays inside")
+	}
+	member := make(map[int]bool, len(s.Members))
+	for _, v := range s.Members {
+		member[v] = true
+	}
+
+	prefix, entry, err := g.bfs(g.Start[0], func(v int) bool { return member[v] }, nil)
+	if err != nil {
+		return Lasso{}, fmt.Errorf("explore: SCC unreachable from start: %w", err)
+	}
+
+	var cycle []core.Pair
+	cur := entry
+	for label := range g.Labels {
+		// Walk within the SCC to a node with an internal edge of this
+		// label, then take it.
+		path, at, err := g.bfs(cur, func(v int) bool {
+			return g.internalEdge(v, label, member) != nil
+		}, member)
+		if err != nil {
+			return Lasso{}, fmt.Errorf("explore: label %v unreachable inside SCC: %w", g.Labels[label], err)
+		}
+		cycle = append(cycle, path...)
+		e := g.internalEdge(at, label, member)
+		cycle = append(cycle, e.Ordered)
+		cur = e.To
+	}
+	back, _, err := g.bfs(cur, func(v int) bool { return v == entry }, member)
+	if err != nil {
+		return Lasso{}, fmt.Errorf("explore: cannot close cycle: %w", err)
+	}
+	cycle = append(cycle, back...)
+	return Lasso{Prefix: prefix, Cycle: cycle}, nil
+}
+
+// internalEdge returns an edge from v with the given label staying
+// inside the member set, or nil.
+func (g *Graph) internalEdge(v, label int, member map[int]bool) *Edge {
+	for i := range g.Succ[v] {
+		e := &g.Succ[v][i]
+		if e.Label == label && member[e.To] {
+			return e
+		}
+	}
+	return nil
+}
+
+// bfs finds a shortest edge path from `from` to any node satisfying
+// `goal`, restricted to nodes in `within` (nil means unrestricted). It
+// returns the ordered pairs along the path and the goal node reached.
+func (g *Graph) bfs(from int, goal func(int) bool, within map[int]bool) ([]core.Pair, int, error) {
+	if goal(from) {
+		return nil, from, nil
+	}
+	type hop struct {
+		prev int
+		via  core.Pair
+	}
+	seen := map[int]hop{from: {prev: -1}}
+	queue := []int{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Succ[v] {
+			if within != nil && !within[e.To] {
+				continue
+			}
+			if _, ok := seen[e.To]; ok {
+				continue
+			}
+			seen[e.To] = hop{prev: v, via: e.Ordered}
+			if goal(e.To) {
+				// Reconstruct.
+				var rev []core.Pair
+				for at := e.To; at != from; {
+					h := seen[at]
+					rev = append(rev, h.via)
+					at = h.prev
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev, e.To, nil
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	return nil, 0, errors.New("no path")
+}

@@ -1,0 +1,132 @@
+package explore
+
+// SCC is one strongly connected component of the reachability graph.
+type SCC struct {
+	// Members lists the node ids of the component.
+	Members []int
+	// Terminal reports whether no edge leaves the component.
+	Terminal bool
+	// LabelsCovered[l] reports whether some edge labeled l connects two
+	// members (self-loops included).
+	LabelsCovered []bool
+}
+
+// Fair reports whether every pair label has an internal edge: the
+// component can host an infinite weakly fair execution.
+func (s SCC) Fair() bool {
+	for _, ok := range s.LabelsCovered {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SCCs computes the strongly connected components of the graph with an
+// iterative Tarjan algorithm (the graphs are deep enough that recursion
+// would overflow), annotating each with terminality and label coverage.
+func (g *Graph) SCCs() []SCC {
+	n := len(g.Nodes)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+
+	type frame struct {
+		v    int
+		edge int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.edge < len(g.Succ[f.v]) {
+				w := g.Succ[f.v][f.edge].To
+				f.edge++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// All edges of f.v processed: pop frame.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := &frames[len(frames)-1]; low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var members []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(sccs)
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, members)
+			}
+		}
+	}
+
+	out := make([]SCC, len(sccs))
+	for i, members := range sccs {
+		out[i] = SCC{
+			Members:       members,
+			Terminal:      true,
+			LabelsCovered: make([]bool, len(g.Labels)),
+		}
+	}
+	for v := 0; v < n; v++ {
+		cv := comp[v]
+		for _, e := range g.Succ[v] {
+			if comp[e.To] == cv {
+				out[cv].LabelsCovered[e.Label] = true
+			} else {
+				out[cv].Terminal = false
+			}
+		}
+	}
+	return out
+}
+
+// ComponentOf returns, for each node, the index of its SCC in the slice
+// returned by SCCs. It recomputes the decomposition; callers doing both
+// should use SCCs and derive membership themselves when performance
+// matters (graphs here are small).
+func (g *Graph) ComponentOf(sccs []SCC) []int {
+	comp := make([]int, len(g.Nodes))
+	for ci, s := range sccs {
+		for _, v := range s.Members {
+			comp[v] = ci
+		}
+	}
+	return comp
+}

@@ -1,0 +1,148 @@
+// Package fairness audits interaction traces for weak fairness. Weak
+// fairness requires every pair of agents to interact infinitely often;
+// over a finite trace the auditable surrogate is that every unordered
+// pair occurs, occurs often, and never waits longer than a bounded gap
+// between occurrences. The impossibility experiments use these audits to
+// certify that their adversarial schedules are genuinely weakly fair —
+// i.e. that non-convergence is the protocol's fault, not the scheduler's.
+package fairness
+
+import (
+	"fmt"
+	"sort"
+
+	"popnaming/internal/core"
+)
+
+// unordered returns a canonical form of the pair with A <= B.
+func unordered(p core.Pair) core.Pair {
+	if p.A > p.B {
+		return core.Pair{A: p.B, B: p.A}
+	}
+	return p
+}
+
+// Audit summarizes pair coverage of a trace over a population of N
+// mobile agents (plus a leader when WithLeader is set).
+type Audit struct {
+	N          int
+	WithLeader bool
+	// Occurrences counts how often each unordered pair interacted.
+	Occurrences map[core.Pair]int
+	// MaxGap is the largest number of steps any pair waited between two
+	// consecutive occurrences (or between the trace boundary and its
+	// nearest occurrence). It is len(trace) when some pair never occurs.
+	MaxGap int
+	// Missing lists the unordered pairs that never interacted.
+	Missing []core.Pair
+	// Steps is the trace length.
+	Steps int
+}
+
+// AuditPairs analyzes a trace of interaction pairs.
+func AuditPairs(pairs []core.Pair, n int, withLeader bool) Audit {
+	a := Audit{
+		N:           n,
+		WithLeader:  withLeader,
+		Occurrences: make(map[core.Pair]int),
+		Steps:       len(pairs),
+	}
+	lastSeen := make(map[core.Pair]int)
+	gaps := make(map[core.Pair]int)
+	for _, u := range allUnordered(n, withLeader) {
+		lastSeen[u] = -1
+		gaps[u] = 0
+	}
+	for i, p := range pairs {
+		u := unordered(p)
+		if !p.Valid(n, withLeader) {
+			panic(fmt.Sprintf("fairness: invalid pair %v at step %d for n=%d leader=%v", p, i, n, withLeader))
+		}
+		a.Occurrences[u]++
+		if g := i - lastSeen[u]; g > gaps[u] {
+			gaps[u] = g
+		}
+		lastSeen[u] = i
+	}
+	for u, last := range lastSeen {
+		tail := len(pairs) - last
+		if tail > len(pairs) {
+			tail = len(pairs) // boundary gaps cannot exceed the trace length
+		}
+		if tail > gaps[u] {
+			gaps[u] = tail
+		}
+		if gaps[u] > a.MaxGap {
+			a.MaxGap = gaps[u]
+		}
+		if a.Occurrences[u] == 0 {
+			a.Missing = append(a.Missing, u)
+		}
+	}
+	sort.Slice(a.Missing, func(i, j int) bool {
+		if a.Missing[i].A != a.Missing[j].A {
+			return a.Missing[i].A < a.Missing[j].A
+		}
+		return a.Missing[i].B < a.Missing[j].B
+	})
+	return a
+}
+
+// allUnordered enumerates every unordered pair over n mobile agents plus
+// an optional leader.
+func allUnordered(n int, withLeader bool) []core.Pair {
+	var out []core.Pair
+	lo := 0
+	if withLeader {
+		lo = -1
+	}
+	for a := lo; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			out = append(out, core.Pair{A: a, B: b})
+		}
+	}
+	return out
+}
+
+// PairCount returns the number of distinct unordered pairs in the
+// population.
+func PairCount(n int, withLeader bool) int {
+	m := n
+	if withLeader {
+		m++
+	}
+	return m * (m - 1) / 2
+}
+
+// WeaklyFairWithin reports whether the trace witnesses weak fairness
+// with the given gap bound: every unordered pair occurred at least once,
+// at least minOccurrences times overall, and never waited more than
+// maxGap steps between occurrences.
+func (a Audit) WeaklyFairWithin(maxGap, minOccurrences int) bool {
+	if len(a.Missing) > 0 || a.MaxGap > maxGap {
+		return false
+	}
+	for _, u := range allUnordered(a.N, a.WithLeader) {
+		if a.Occurrences[u] < minOccurrences {
+			return false
+		}
+	}
+	return true
+}
+
+// MinOccurrences returns the smallest occurrence count over all pairs.
+func (a Audit) MinOccurrences() int {
+	min := -1
+	for _, u := range allUnordered(a.N, a.WithLeader) {
+		c := a.Occurrences[u]
+		if min == -1 || c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+func (a Audit) String() string {
+	return fmt.Sprintf("fairness audit: %d steps, %d/%d pairs seen, min occurrences %d, max gap %d",
+		a.Steps, len(a.Occurrences), PairCount(a.N, a.WithLeader), a.MinOccurrences(), a.MaxGap)
+}

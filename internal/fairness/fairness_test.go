@@ -1,0 +1,149 @@
+package fairness
+
+import (
+	"strings"
+	"testing"
+
+	"popnaming/internal/core"
+	"popnaming/internal/sched"
+)
+
+func TestPairCount(t *testing.T) {
+	cases := []struct {
+		n          int
+		withLeader bool
+		want       int
+	}{
+		{2, false, 1}, {3, false, 3}, {4, false, 6},
+		{2, true, 3}, {3, true, 6},
+	}
+	for _, c := range cases {
+		if got := PairCount(c.n, c.withLeader); got != c.want {
+			t.Errorf("PairCount(%d, %v) = %d, want %d", c.n, c.withLeader, got, c.want)
+		}
+	}
+}
+
+func TestAuditRoundRobinIsWeaklyFair(t *testing.T) {
+	const n = 5
+	s := sched.NewRoundRobin(n, true)
+	var pairs []core.Pair
+	for i := 0; i < 4*s.CycleLen(); i++ {
+		pairs = append(pairs, s.Next())
+	}
+	a := AuditPairs(pairs, n, true)
+	if len(a.Missing) != 0 {
+		t.Fatalf("round robin missing pairs: %v", a.Missing)
+	}
+	if !a.WeaklyFairWithin(s.CycleLen()+1, 4) {
+		t.Fatalf("round robin not weakly fair: %s", a)
+	}
+	// Each unordered pair occurs twice per cycle (both orientations).
+	if got := a.MinOccurrences(); got != 8 {
+		t.Errorf("MinOccurrences = %d, want 8", got)
+	}
+}
+
+func TestAuditMatchingIsWeaklyFair(t *testing.T) {
+	const n = 6
+	s := sched.NewMatching(n)
+	var pairs []core.Pair
+	for i := 0; i < 3*s.CycleLen(); i++ {
+		pairs = append(pairs, s.Next())
+	}
+	a := AuditPairs(pairs, n, false)
+	if !a.WeaklyFairWithin(s.CycleLen(), 3) {
+		t.Fatalf("matching schedule not weakly fair: %s", a)
+	}
+}
+
+func TestAuditDetectsMissingPair(t *testing.T) {
+	pairs := []core.Pair{{A: 0, B: 1}, {A: 1, B: 0}, {A: 0, B: 1}}
+	a := AuditPairs(pairs, 3, false)
+	if len(a.Missing) != 2 {
+		t.Fatalf("Missing = %v, want pairs (0,2) and (1,2)", a.Missing)
+	}
+	if a.Missing[0] != (core.Pair{A: 0, B: 2}) || a.Missing[1] != (core.Pair{A: 1, B: 2}) {
+		t.Fatalf("Missing = %v", a.Missing)
+	}
+	if a.WeaklyFairWithin(1000, 1) {
+		t.Error("audit with missing pairs reported weakly fair")
+	}
+	if a.MinOccurrences() != 0 {
+		t.Errorf("MinOccurrences = %d, want 0", a.MinOccurrences())
+	}
+}
+
+func TestAuditMergesOrientations(t *testing.T) {
+	pairs := []core.Pair{{A: 0, B: 1}, {A: 1, B: 0}}
+	a := AuditPairs(pairs, 2, false)
+	if got := a.Occurrences[core.Pair{A: 0, B: 1}]; got != 2 {
+		t.Errorf("occurrences = %d, want 2 (orientations merged)", got)
+	}
+}
+
+func TestAuditMaxGap(t *testing.T) {
+	// Pair (0,1) at steps 0 and 4; (0,2)... build a 3-agent trace.
+	pairs := []core.Pair{
+		{A: 0, B: 1}, // 0
+		{A: 0, B: 2}, // 1
+		{A: 1, B: 2}, // 2
+		{A: 0, B: 2}, // 3
+		{A: 0, B: 1}, // 4
+		{A: 1, B: 2}, // 5
+	}
+	a := AuditPairs(pairs, 3, false)
+	// (0,1): gaps 1 (start->0), 4 (0->4), 2 (4->end). Max overall gap
+	// must be 4.
+	if a.MaxGap != 4 {
+		t.Errorf("MaxGap = %d, want 4", a.MaxGap)
+	}
+	if !a.WeaklyFairWithin(4, 2) {
+		t.Error("trace should be weakly fair within gap 4")
+	}
+	if a.WeaklyFairWithin(3, 2) {
+		t.Error("trace should not be weakly fair within gap 3")
+	}
+}
+
+func TestAuditLeaderPairs(t *testing.T) {
+	pairs := []core.Pair{
+		{A: core.LeaderIndex, B: 0},
+		{A: 1, B: core.LeaderIndex},
+		{A: 0, B: 1},
+	}
+	a := AuditPairs(pairs, 2, true)
+	if len(a.Missing) != 0 {
+		t.Fatalf("Missing = %v, want none", a.Missing)
+	}
+	if got := a.Occurrences[core.Pair{A: core.LeaderIndex, B: 1}]; got != 1 {
+		t.Errorf("leader-1 occurrences = %d, want 1", got)
+	}
+}
+
+func TestAuditPanicsOnInvalidPair(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid pair did not panic")
+		}
+	}()
+	AuditPairs([]core.Pair{{A: 0, B: 9}}, 3, false)
+}
+
+func TestAuditString(t *testing.T) {
+	a := AuditPairs([]core.Pair{{A: 0, B: 1}}, 2, false)
+	s := a.String()
+	if !strings.Contains(s, "1 steps") || !strings.Contains(s, "1/1 pairs") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	a := AuditPairs(nil, 3, false)
+	if len(a.Missing) != 3 {
+		t.Errorf("empty trace Missing = %v, want all 3 pairs", a.Missing)
+	}
+	if a.MaxGap != 0 {
+		t.Errorf("empty trace MaxGap = %d, want 0", a.MaxGap)
+	}
+}

@@ -1,0 +1,191 @@
+// Package impossible realizes the paper's negative results as executable
+// adversarial constructions. Each construction produces, for a concrete
+// protocol, a weakly fair schedule (or an exhaustive analysis) under
+// which naming provably never happens — turning the impossibility proofs
+// of Propositions 1, 2 and 4 and Theorem 11 into running experiments.
+package impossible
+
+import (
+	"fmt"
+
+	"popnaming/internal/core"
+	"popnaming/internal/sched"
+	"popnaming/internal/sim"
+)
+
+// LockstepReport is the outcome of the Proposition 1 adversary.
+type LockstepReport struct {
+	// Steps is the number of adversarial interactions executed.
+	Steps int
+	// AlwaysUniform reports whether every visited configuration kept
+	// all agents in identical states (the symmetry argument of the
+	// proof).
+	AlwaysUniform bool
+	// Final is the last configuration.
+	Final *core.Config
+	// CycleLen is the period after which the matching schedule repeats
+	// having covered all pairs (certifying weak fairness of the infinite
+	// extension).
+	CycleLen int
+}
+
+func (r LockstepReport) String() string {
+	return fmt.Sprintf("lockstep adversary: %d steps, uniform throughout: %v, final %s",
+		r.Steps, r.AlwaysUniform, r.Final)
+}
+
+// Lockstep runs the Proposition 1 adversary against a symmetric
+// leaderless protocol: an even population starts uniformly (all agents
+// in state start) and interacts in perfect-matching phases (the circle
+// method), so that by symmetry every phase maps a uniform configuration
+// to a uniform configuration. The resulting infinite schedule is weakly
+// fair (each n-1 phases cover every pair), yet no configuration with two
+// distinct states — let alone a naming — is ever reached. The function
+// executes `cycles` full pair-covering cycles and reports whether
+// uniformity indeed held throughout. It panics if the protocol is
+// asymmetric, has a leader, or n is odd (the construction does not
+// apply).
+func Lockstep(p core.Protocol, n int, start core.State, cycles int) LockstepReport {
+	if !p.Symmetric() {
+		panic("impossible: Proposition 1 adversary applies to symmetric protocols only")
+	}
+	if core.HasLeader(p) {
+		panic("impossible: Proposition 1 adversary applies to leaderless protocols only")
+	}
+	if n < 2 || n%2 != 0 {
+		panic(fmt.Sprintf("impossible: Proposition 1 adversary needs an even population, got %d", n))
+	}
+	m := sched.NewMatching(n)
+	cfg := core.NewConfig(n, start)
+	uniform := true
+	steps := 0
+	phases := cycles * (n - 1)
+	for ph := 0; ph < phases; ph++ {
+		// The pairs of one matching phase are disjoint, so applying
+		// them sequentially is equivalent to the simultaneous phase of
+		// the proof: every pair still sees two agents in the common
+		// pre-phase state.
+		for k := 0; k < m.RoundLen(); k++ {
+			core.ApplyPair(p, cfg, m.Next())
+			steps++
+		}
+		if distinctStates(cfg) != 1 {
+			uniform = false
+		}
+	}
+	return LockstepReport{Steps: steps, AlwaysUniform: uniform, Final: cfg, CycleLen: m.CycleLen()}
+}
+
+// distinctStates counts the distinct mobile states in a configuration.
+func distinctStates(c *core.Config) int {
+	distinct := map[core.State]bool{}
+	for _, s := range c.Mobile {
+		distinct[s] = true
+	}
+	return len(distinct)
+}
+
+// EclipseReport is the outcome of the Theorem 11 demonstration.
+type EclipseReport struct {
+	// Hidden is the index of the eclipsed agent.
+	Hidden int
+	// ConvergedWithout reports whether the visible N-1 agents converged
+	// during the eclipse.
+	ConvergedWithout bool
+	// StuckSilent reports whether, after the hidden agent reappeared,
+	// the execution reached a silent configuration that is NOT a valid
+	// naming — the stuck state Theorem 11 proves unavoidable for
+	// P-state protocols at N = P under weak fairness.
+	StuckSilent bool
+	// Final is the configuration at the end of the run.
+	Final *core.Config
+	// Steps is the total number of interactions.
+	Steps int
+}
+
+func (r EclipseReport) String() string {
+	return fmt.Sprintf("eclipse adversary: hidden agent %d, converged without it: %v, stuck silent non-naming: %v, final %s",
+		r.Hidden, r.ConvergedWithout, r.StuckSilent, r.Final)
+}
+
+// Eclipse runs the Theorem 11 construction against a P-state leader
+// protocol at N = P: agent `hidden`, holding state hiddenState, is kept
+// out of all interactions while the other P-1 agents (started from
+// `visible`) run to convergence; then the full population resumes under
+// a weakly fair random schedule. For any P-state symmetric protocol the
+// theorem shows some choice of hidden state leads to a silent
+// configuration that is not a naming; for the P-state restriction of
+// Protocol 1 this happens whenever the hidden agent duplicates a name
+// that the leader has already handed out (both copies sink to 0 and the
+// leader, its guess exhausted, can never rename them).
+func Eclipse(lp core.LeaderProtocol, visible []core.State, hidden int, hiddenState core.State, seed int64, budget int) EclipseReport {
+	n := len(visible) + 1
+	cfg := core.NewConfig(n, 0).WithLeader(lp.InitLeader())
+	vi := 0
+	for i := 0; i < n; i++ {
+		if i == hidden {
+			cfg.Mobile[i] = hiddenState
+		} else {
+			cfg.Mobile[i] = visible[vi]
+			vi++
+		}
+	}
+
+	// Phase 1: run the visible sub-population to convergence.
+	hideSteps := budget / 2
+	ecl := sched.NewEclipse(n, true, hidden, hideSteps, seed)
+	runner := sim.NewRunner(lp, ecl, cfg)
+	quiet := 0
+	convergedWithout := false
+	for runner.Steps() < hideSteps {
+		if runner.Step() {
+			quiet = 0
+		} else {
+			quiet++
+		}
+		if quiet >= 4*n*n && silentExcept(lp, cfg, hidden) {
+			convergedWithout = true
+			break
+		}
+	}
+	// Phase 2: release the hidden agent and run weakly fair (random).
+	rest := sim.NewRunner(lp, sched.NewRandom(n, true, seed+7), cfg)
+	res := rest.Run(budget / 2)
+	return EclipseReport{
+		Hidden:           hidden,
+		ConvergedWithout: convergedWithout,
+		StuckSilent:      res.Converged && !cfg.ValidNaming(),
+		Final:            cfg,
+		Steps:            runner.Steps() + res.Steps,
+	}
+}
+
+// silentExcept reports whether every interaction not involving agent
+// `skip` is null.
+func silentExcept(p core.Protocol, c *core.Config, skip int) bool {
+	n := c.N()
+	for i := 0; i < n; i++ {
+		if i == skip {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j == skip || i == j {
+				continue
+			}
+			if !core.IsNullMobile(p, c.Mobile[i], c.Mobile[j]) {
+				return false
+			}
+		}
+	}
+	if lp, ok := p.(core.LeaderProtocol); ok {
+		for j := 0; j < n; j++ {
+			if j == skip {
+				continue
+			}
+			if !core.IsNullLeader(lp, c.Leader, c.Mobile[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+package impossible
+
+import (
+	"testing"
+
+	"popnaming/internal/core"
+	"popnaming/internal/counting"
+	"popnaming/internal/fairness"
+	"popnaming/internal/naming"
+	"popnaming/internal/sched"
+)
+
+// TestLockstepDefeatsSymGlobal: Proposition 1's adversary holds the
+// paper's own P+1-state symmetric protocol in lockstep forever under a
+// weakly fair schedule.
+func TestLockstepDefeatsSymGlobal(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		pr := naming.NewSymGlobal(6)
+		rep := Lockstep(pr, n, 0, 50)
+		if !rep.AlwaysUniform {
+			t.Fatalf("n=%d: symmetry broke under the matching adversary: %s", n, rep)
+		}
+		if rep.Final.ValidNaming() {
+			t.Fatalf("n=%d: lockstep execution named the agents: %s", n, rep)
+		}
+	}
+}
+
+// TestLockstepDefeatsEverySmallSymmetricProtocol drives the adversary
+// against a sample of handwritten symmetric rule tables.
+func TestLockstepDefeatsEverySmallSymmetricProtocol(t *testing.T) {
+	tables := []*core.RuleTable{
+		core.NewRuleTable("flip", 4, 2).AddSymmetric(0, 0, 1, 1).AddSymmetric(1, 1, 0, 0),
+		core.NewRuleTable("swap", 4, 3).AddSymmetric(0, 1, 1, 0).AddSymmetric(0, 0, 2, 2),
+		core.NewRuleTable("chase", 4, 4).
+			AddSymmetric(0, 0, 1, 1).AddSymmetric(1, 1, 2, 2).
+			AddSymmetric(2, 2, 3, 3).AddSymmetric(3, 3, 0, 0),
+	}
+	for _, tab := range tables {
+		rep := Lockstep(tab, 4, 0, 25)
+		if !rep.AlwaysUniform || rep.Final.ValidNaming() {
+			t.Errorf("%s: adversary failed: %s", tab.Name(), rep)
+		}
+	}
+}
+
+// TestLockstepScheduleIsWeaklyFair certifies the adversary plays fair:
+// its schedule covers every pair once per cycle.
+func TestLockstepScheduleIsWeaklyFair(t *testing.T) {
+	const n = 6
+	m := sched.NewMatching(n)
+	var pairs []core.Pair
+	for i := 0; i < 4*m.CycleLen(); i++ {
+		pairs = append(pairs, m.Next())
+	}
+	a := fairness.AuditPairs(pairs, n, false)
+	if !a.WeaklyFairWithin(m.CycleLen(), 4) {
+		t.Fatalf("matching schedule not weakly fair: %s", a)
+	}
+}
+
+func TestLockstepGuards(t *testing.T) {
+	cases := []func(){
+		func() { Lockstep(naming.NewAsymmetric(4), 4, 0, 1) }, // asymmetric
+		func() { Lockstep(naming.NewGlobalP(4), 4, 0, 1) },    // leader
+		func() { Lockstep(naming.NewSymGlobal(4), 5, 0, 1) },  // odd n
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestEclipseStrandsProtocol1: Theorem 11's construction against the
+// P-state counting/naming substrate at N = P. The hidden agent
+// duplicates a name handed out during the eclipse; once it reappears the
+// two homonyms sink to 0 and some execution ends silent without a valid
+// naming.
+func TestEclipseStrandsProtocol1(t *testing.T) {
+	const p = 5
+	pr := counting.New(p)
+	visible := make([]core.State, p-1)
+	for i := range visible {
+		visible[i] = 0 // fresh visible population; converges to names 1..P-1
+	}
+	stuckSeen := false
+	for seed := int64(0); seed < 12 && !stuckSeen; seed++ {
+		rep := Eclipse(pr, visible, 0, 1, seed, 4_000_000)
+		if !rep.ConvergedWithout {
+			t.Fatalf("seed %d: visible sub-population did not converge during eclipse: %s", seed, rep)
+		}
+		if rep.StuckSilent {
+			stuckSeen = true
+		}
+	}
+	if !stuckSeen {
+		t.Fatal("no eclipse execution ended stuck; Theorem 11's phenomenon not reproduced")
+	}
+}
+
+// TestEclipseHarmlessBelowCapacity: the same construction with P+1
+// states (Protocol 2) always recovers — the extra state is exactly what
+// Theorem 11 says is missing.
+func TestEclipseHarmlessAgainstSelfStab(t *testing.T) {
+	const p = 5
+	pr := naming.NewSelfStab(p)
+	visible := make([]core.State, p-1)
+	for seed := int64(0); seed < 12; seed++ {
+		rep := Eclipse(pr, visible, 0, 1, seed, 4_000_000)
+		if rep.StuckSilent {
+			t.Fatalf("seed %d: Protocol 2 got stuck: %s", seed, rep)
+		}
+		if !rep.Final.ValidNaming() {
+			t.Fatalf("seed %d: Protocol 2 did not name after eclipse: %s", seed, rep)
+		}
+	}
+}
+
+// TestProp4Stuck: a converged-looking leader state plus a homonym
+// population is inert for Protocol 3 — the Proposition 4 contradiction.
+func TestProp4Stuck(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8} {
+		for _, s := range []core.State{0, 1} {
+			rep := Prop4Stuck(p, s)
+			if !rep.Stuck {
+				t.Errorf("P=%d s=%d: configuration not stuck: %s", p, s, rep)
+			}
+		}
+	}
+}
+
+func TestProp4RejectsBadState(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range state")
+		}
+	}()
+	Prop4Stuck(3, 9)
+}

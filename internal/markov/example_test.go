@@ -1,0 +1,37 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"popnaming/internal/core"
+	"popnaming/internal/explore"
+	"popnaming/internal/markov"
+)
+
+// Compute the exact expected number of interactions for the black/white
+// example to reach the all-black configuration: one of the three
+// unordered pairs absorbs, the other two shuffle, so the time is
+// geometric with mean exactly 3.
+func ExampleNew() {
+	proto := core.NewRuleTable("black-white", 3, 2).
+		AddSymmetric(0, 0, 1, 1).
+		AddSymmetric(0, 1, 1, 0)
+	start := core.NewConfigStates(1, 0, 0)
+	g, err := explore.Build(proto, []*core.Config{start}, explore.Options{})
+	if err != nil {
+		panic(err)
+	}
+	chain, err := markov.New(g)
+	if err != nil {
+		panic(err)
+	}
+	steps, _ := chain.ExpectedSteps(start)
+	fmt.Printf("expected interactions: %.0f\n", steps)
+
+	d, _ := chain.DistributionFrom(start, 1e-9, 1000)
+	median, _ := d.Quantile(0.5)
+	fmt.Println("median:", median)
+	// Output:
+	// expected interactions: 3
+	// median: 2
+}

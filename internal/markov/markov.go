@@ -1,0 +1,216 @@
+// Package markov computes exact expected convergence times of population
+// protocols under the uniform-random scheduler, by treating the
+// reachability graph (internal/explore) as an absorbing Markov chain:
+// each of the M ordered agent pairs is drawn with probability 1/M, each
+// draw moves the configuration along the corresponding deterministic
+// edge (or stays put on a null transition), and the silent configurations
+// are absorbing. Solving the standard first-step linear system
+//
+//	E[v] = 1 + sum_u P(v -> u) E[u],   E[absorbing] = 0
+//
+// gives the exact expected number of interactions to convergence from
+// every configuration — the ground truth the simulator's sampled
+// averages are validated against (experiment E17).
+//
+// The solver is dense Gaussian elimination with partial pivoting, which
+// is exact up to floating point and fast for the graph sizes the model
+// checker handles (thousands of nodes).
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"popnaming/internal/core"
+	"popnaming/internal/explore"
+)
+
+// ErrNotAbsorbing is returned when some recurrent behaviour never
+// reaches a silent configuration (the expected time would be infinite).
+var ErrNotAbsorbing = errors.New("markov: a reachable terminal component is not silent; expected hitting time is infinite")
+
+// Chain is the absorbing Markov chain induced by a reachability graph
+// under the uniform-random scheduler.
+type Chain struct {
+	graph *explore.Graph
+	// pairs is M, the number of ordered pairs a scheduler draw can
+	// produce.
+	pairs int
+	// expect[v] is the expected number of interactions to reach a
+	// silent configuration from node v.
+	expect []float64
+	// absorbing[v] marks silent configurations.
+	absorbing []bool
+}
+
+// New builds the chain and solves for the expected hitting times. The
+// graph must be identity-preserving (explore.Options.Canonical false):
+// the uniform scheduler draws identity pairs.
+func New(g *explore.Graph) (*Chain, error) {
+	n := g.N
+	m := n
+	if core.HasLeader(g.Proto) {
+		m++
+	}
+	c := &Chain{
+		graph:     g,
+		pairs:     m * (m - 1),
+		absorbing: make([]bool, g.Size()),
+	}
+	for v, cfg := range g.Nodes {
+		c.absorbing[v] = core.Silent(g.Proto, cfg)
+	}
+
+	// Guard: every non-absorbing behaviour must eventually reach an
+	// absorbing node with probability 1, i.e. every terminal SCC is a
+	// silent singleton.
+	for _, s := range g.SCCs() {
+		if !s.Terminal {
+			continue
+		}
+		for _, v := range s.Members {
+			if !c.absorbing[v] {
+				return nil, fmt.Errorf("%w (witness %s)", ErrNotAbsorbing, g.Nodes[v])
+			}
+		}
+	}
+
+	if err := c.solve(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// solve assembles and solves (I - Q) t = 1 over the transient nodes.
+func (c *Chain) solve() error {
+	g := c.graph
+	// Index the transient nodes.
+	idx := make([]int, g.Size())
+	var transient []int
+	for v := range g.Nodes {
+		if c.absorbing[v] {
+			idx[v] = -1
+			continue
+		}
+		idx[v] = len(transient)
+		transient = append(transient, v)
+	}
+	t := len(transient)
+	c.expect = make([]float64, g.Size())
+	if t == 0 {
+		return nil
+	}
+
+	// Row v: E[v] - sum_u P(v->u) E[u] = 1, with E over transient u
+	// only (absorbing contribute 0). P(v->u) accumulates edge weights;
+	// each graph edge carries the probability of its ordered pair(s):
+	// 2/M for symmetric protocols (one edge covers both orientations),
+	// 1/M otherwise. Residual probability (null self-transitions not
+	// materialized as edges) stays on v.
+	a := make([][]float64, t)
+	b := make([]float64, t)
+	w := 1.0 / float64(c.pairs)
+	if g.Proto.Symmetric() {
+		w = 2.0 / float64(c.pairs)
+	}
+	for ti, v := range transient {
+		row := make([]float64, t)
+		row[ti] = 1.0
+		used := 0.0
+		for _, e := range g.Succ[v] {
+			used += w
+			if ui := idx[e.To]; ui >= 0 {
+				row[ui] -= w
+			}
+		}
+		// Any probability mass not covered by materialized edges is a
+		// null self-loop: subtract it from the diagonal's implicit
+		// self-term. (Explore materializes one edge per label, so used
+		// should be 1 within rounding; keep the correction for safety.)
+		if residual := 1.0 - used; residual > 1e-12 {
+			row[ti] -= residual
+		}
+		a[ti] = row
+		b[ti] = 1.0
+	}
+
+	x, err := gaussianSolve(a, b)
+	if err != nil {
+		return err
+	}
+	for ti, v := range transient {
+		c.expect[v] = x[ti]
+	}
+	return nil
+}
+
+// ExpectedSteps returns the exact expected number of interactions to
+// reach a silent configuration from the given configuration, which must
+// be one of the graph's explored nodes.
+func (c *Chain) ExpectedSteps(cfg *core.Config) (float64, error) {
+	id := c.graph.NodeID(cfg)
+	if id < 0 {
+		return 0, fmt.Errorf("markov: configuration %s not in the explored graph", cfg)
+	}
+	return c.expect[id], nil
+}
+
+// ExpectedStepsByID returns the expected hitting time of node id.
+func (c *Chain) ExpectedStepsByID(id int) float64 { return c.expect[id] }
+
+// MaxExpected returns the largest expected hitting time over all
+// explored configurations (the worst-case start).
+func (c *Chain) MaxExpected() float64 {
+	max := 0.0
+	for _, e := range c.expect {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// gaussianSolve solves a dense linear system in place with partial
+// pivoting.
+func gaussianSolve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-13 {
+			return nil, errors.New("markov: singular system (unreachable absorption?)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		inv := 1.0 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for k := col + 1; k < n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * x[k]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,125 @@
+// Package report renders plain-text tables for the experiment harness:
+// the Table 1 reproduction and the convergence-time sweeps. Output is
+// aligned ASCII suitable for terminals and for diffing against recorded
+// results.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped and
+// missing cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered
+// with %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		s[i] = fmt.Sprintf("%v", c)
+	}
+	t.AddRow(s...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return "| " + strings.Join(parts, " | ") + " |"
+	}
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	fmt.Fprintln(w, line(t.headers))
+	fmt.Fprintln(w, line(rule))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series renders a labeled numeric series ("figure" data) as
+// tab-separated x/y lines with a header, the textual equivalent of one
+// plotted curve.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Render writes the series to w.
+func (s *Series) Render(w io.Writer) {
+	fmt.Fprintf(w, "# series: %s (%s vs %s)\n", s.Name, s.YLabel, s.XLabel)
+	for i := range s.X {
+		fmt.Fprintf(w, "%g\t%g\n", s.X[i], s.Y[i])
+	}
+}
+
+// String renders the series to a string.
+func (s *Series) String() string {
+	var b strings.Builder
+	s.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	width := len(lines[1])
+	for i, l := range lines[1:] {
+		if len(l) != width {
+			t.Errorf("line %d has width %d, want %d:\n%s", i+1, len(l), width, out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+}
+
+func TestTableMissingAndExtraCells(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("only-a")
+	tab.AddRow("x", "y", "dropped")
+	out := tab.String()
+	if strings.Contains(out, "dropped") {
+		t.Error("extra cell rendered")
+	}
+	if !strings.Contains(out, "only-a") {
+		t.Error("short row not rendered")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := NewTable("", "n", "ok")
+	tab.AddRowf(42, true)
+	out := tab.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "true") {
+		t.Errorf("formatted cells missing: %s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Name: "convergence", XLabel: "N", YLabel: "steps"}
+	s.Add(2, 10)
+	s.Add(4, 40)
+	out := s.String()
+	if !strings.Contains(out, "# series: convergence") {
+		t.Errorf("missing header: %s", out)
+	}
+	if !strings.Contains(out, "2\t10") || !strings.Contains(out, "4\t40") {
+		t.Errorf("missing points: %s", out)
+	}
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"testing"
+
+	"popnaming/internal/core"
+)
+
+func TestMatchingPhaseIsPerfect(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8, 12} {
+		s := NewMatching(n)
+		for round := 0; round < n-1; round++ {
+			used := make(map[int]bool)
+			for k := 0; k < s.RoundLen(); k++ {
+				p := s.Next()
+				if p.A == p.B {
+					t.Fatalf("n=%d round %d: self pair %v", n, round, p)
+				}
+				if used[p.A] || used[p.B] {
+					t.Fatalf("n=%d round %d: agent reused in %v", n, round, p)
+				}
+				used[p.A], used[p.B] = true, true
+			}
+			if len(used) != n {
+				t.Fatalf("n=%d round %d: matched %d agents, want %d", n, round, len(used), n)
+			}
+		}
+	}
+}
+
+func TestMatchingCycleCoversAllPairs(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 10} {
+		s := NewMatching(n)
+		seen := make(map[core.Pair]int)
+		for i := 0; i < s.CycleLen(); i++ {
+			p := s.Next()
+			if p.A > p.B {
+				p = core.Pair{A: p.B, B: p.A}
+			}
+			seen[p]++
+		}
+		want := n * (n - 1) / 2
+		if len(seen) != want {
+			t.Fatalf("n=%d: cycle covered %d pairs, want %d", n, len(seen), want)
+		}
+		for p, c := range seen {
+			if c != 1 {
+				t.Errorf("n=%d: pair %v scheduled %d times per cycle, want 1", n, p, c)
+			}
+		}
+	}
+}
+
+func TestMatchingRejectsOddOrTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMatching(%d) did not panic", n)
+				}
+			}()
+			NewMatching(n)
+		}()
+	}
+}
+
+func TestEclipseHidesAgent(t *testing.T) {
+	const n, hidden, hideSteps = 6, 2, 5000
+	s := NewEclipse(n, true, hidden, hideSteps, 1)
+	for i := 0; i < hideSteps; i++ {
+		if !s.Eclipsing() {
+			t.Fatalf("eclipse ended early at step %d", i)
+		}
+		p := s.Next()
+		if p.Involves(hidden) {
+			t.Fatalf("hidden agent scheduled at step %d: %v", i, p)
+		}
+		if !p.Valid(n, true) {
+			t.Fatalf("invalid pair %v", p)
+		}
+	}
+	if s.Eclipsing() {
+		t.Fatal("eclipse did not end after hideSteps")
+	}
+	// Afterwards the hidden agent must eventually interact (weak
+	// fairness of the infinite suffix).
+	seen := false
+	for i := 0; i < 10000; i++ {
+		if s.Next().Involves(hidden) {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Fatal("hidden agent never interacted after the eclipse")
+	}
+}
+
+func TestEclipseCoversAllVisiblePairs(t *testing.T) {
+	const n, hidden, hideSteps = 5, 0, 20000
+	s := NewEclipse(n, true, hidden, hideSteps, 2)
+	seen := make(map[core.Pair]bool)
+	for i := 0; i < hideSteps; i++ {
+		p := s.Next()
+		if p.A > p.B {
+			p = core.Pair{A: p.B, B: p.A}
+		}
+		seen[p] = true
+	}
+	for a := -1; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if a == hidden || b == hidden {
+				continue
+			}
+			if !seen[core.Pair{A: a, B: b}] {
+				t.Errorf("visible pair (%d,%d) never scheduled during eclipse", a, b)
+			}
+		}
+	}
+}
+
+func TestEclipseRejectsBadHidden(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEclipse with out-of-range hidden did not panic")
+		}
+	}()
+	NewEclipse(4, false, 4, 10, 0)
+}

@@ -1,0 +1,213 @@
+// Package search exhaustively enumerates deterministic symmetric
+// leaderless protocols over a small state space and model-checks each
+// against the naming problem, providing machine-checked confirmation of
+// the paper's lower bounds on tiny instances:
+//
+//   - Proposition 1/2, uniform initialization: no symmetric leaderless
+//     protocol names even a 2-agent population from a uniform start
+//     (symmetric rules preserve the all-equal configuration), under
+//     either fairness.
+//   - Proposition 2, the P-state lower bound behind Proposition 13's
+//     P+1-state protocol: with only q = P states per agent, no symmetric
+//     leaderless protocol self-stabilizingly names a population of P
+//     agents even under global fairness. The search over all 19683
+//     symmetric 3-state protocols at N = P = 3 finds zero survivors,
+//     while Proposition 13's protocol with P+1 states passes the exact
+//     same model check (see internal/naming tests).
+//
+// The symmetric protocol space over q states has q^q choices for the
+// same-state rules (p,p) -> (r,r) and (q^2)^C(q,2) choices for the
+// distinct-state rules: 16 protocols for q = 2 and 19683 for q = 3.
+package search
+
+import (
+	"fmt"
+
+	"popnaming/internal/core"
+	"popnaming/internal/explore"
+)
+
+// Fairness selects the convergence notion to check.
+type Fairness int
+
+const (
+	// Global checks convergence under global fairness (terminal SCCs).
+	Global Fairness = iota
+	// Weak checks convergence under weak fairness (fair SCCs).
+	Weak
+)
+
+func (f Fairness) String() string {
+	if f == Global {
+		return "global"
+	}
+	return "weak"
+}
+
+// Init selects the initialization regime a candidate is granted.
+type Init int
+
+const (
+	// BestUniform lets the candidate pick its favourite uniform start
+	// state; it survives if some single state works for all sizes.
+	BestUniform Init = iota
+	// Arbitrary demands convergence from every configuration
+	// (self-stabilization).
+	Arbitrary
+)
+
+func (i Init) String() string {
+	if i == BestUniform {
+		return "best-uniform"
+	}
+	return "arbitrary"
+}
+
+// Survivor records a candidate that passed every convergence check —
+// the paper predicts there are none in the searched regimes.
+type Survivor struct {
+	Rules []core.Rule
+	// Start is the winning uniform start state (BestUniform only).
+	Start core.State
+}
+
+// Result summarizes an exhaustive search.
+type Result struct {
+	Q         int
+	Sizes     []int
+	Fairness  Fairness
+	Init      Init
+	Protocols int
+	Survivors []Survivor
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("searched %d symmetric %d-state protocols (sizes %v, %s fairness, %s init): %d survivors",
+		r.Protocols, r.Q, r.Sizes, r.Fairness, r.Init, len(r.Survivors))
+}
+
+// EnumerateSymmetric calls fn with every deterministic symmetric
+// leaderless protocol over q states (fn must not retain the table). It
+// returns the number of protocols enumerated. fn may return false to
+// stop early.
+func EnumerateSymmetric(q int, fn func(*core.RuleTable) bool) int {
+	// Slot layout: slots[0..q-1] choose r in (p,p)->(r,r); the remaining
+	// C(q,2) slots choose (p',q') in (p,q)->(p',q') for p < q, encoded
+	// as p'*q + q'.
+	type pairSlot struct{ p, q int }
+	var distinct []pairSlot
+	for p := 0; p < q; p++ {
+		for r := p + 1; r < q; r++ {
+			distinct = append(distinct, pairSlot{p, r})
+		}
+	}
+	slots := q + len(distinct)
+	radix := make([]int, slots)
+	for i := 0; i < q; i++ {
+		radix[i] = q
+	}
+	for i := q; i < slots; i++ {
+		radix[i] = q * q
+	}
+	counter := make([]int, slots)
+	count := 0
+	for {
+		t := core.NewRuleTable(fmt.Sprintf("search-%d", count), q, q)
+		for p := 0; p < q; p++ {
+			r := core.State(counter[p])
+			t.AddSymmetric(core.State(p), core.State(p), r, r)
+		}
+		for i, ps := range distinct {
+			code := counter[q+i]
+			t.AddSymmetric(core.State(ps.p), core.State(ps.q), core.State(code/q), core.State(code%q))
+		}
+		count++
+		if !fn(t) {
+			return count
+		}
+		// Increment the mixed-radix counter.
+		i := 0
+		for ; i < slots; i++ {
+			counter[i]++
+			if counter[i] < radix[i] {
+				break
+			}
+			counter[i] = 0
+		}
+		if i == slots {
+			return count
+		}
+	}
+}
+
+// SymmetricNaming searches all symmetric leaderless q-state protocols
+// for one that solves naming for every population size in sizes under
+// the given fairness and initialization regime.
+func SymmetricNaming(q int, sizes []int, fairness Fairness, init Init) Result {
+	res := Result{Q: q, Sizes: sizes, Fairness: fairness, Init: init}
+	res.Protocols = EnumerateSymmetric(q, func(t *core.RuleTable) bool {
+		switch init {
+		case BestUniform:
+			for s0 := 0; s0 < q; s0++ {
+				if solvesAll(t, sizes, fairness, uniformStarts(core.State(s0))) {
+					res.Survivors = append(res.Survivors, Survivor{Rules: t.Rules(), Start: core.State(s0)})
+				}
+			}
+		case Arbitrary:
+			if solvesAll(t, sizes, fairness, allStarts(q)) {
+				res.Survivors = append(res.Survivors, Survivor{Rules: t.Rules()})
+			}
+		}
+		return true
+	})
+	return res
+}
+
+// startsFunc produces the starting configurations for a population size.
+type startsFunc func(n int) []*core.Config
+
+func uniformStarts(s0 core.State) startsFunc {
+	return func(n int) []*core.Config { return []*core.Config{core.NewConfig(n, s0)} }
+}
+
+// allStarts enumerates every configuration of n agents over q states.
+func allStarts(q int) startsFunc {
+	return func(n int) []*core.Config {
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= q
+		}
+		out := make([]*core.Config, 0, total)
+		states := make([]core.State, n)
+		for code := 0; code < total; code++ {
+			c := code
+			for i := range states {
+				states[i] = core.State(c % q)
+				c /= q
+			}
+			out = append(out, core.NewConfigStates(states...))
+		}
+		return out
+	}
+}
+
+// solvesAll checks naming convergence for every population size from
+// the given starts.
+func solvesAll(t *core.RuleTable, sizes []int, fairness Fairness, starts startsFunc) bool {
+	for _, n := range sizes {
+		g, err := explore.Build(t, starts(n), explore.Options{MaxNodes: 1 << 16})
+		if err != nil {
+			return false
+		}
+		var verdict explore.Verdict
+		if fairness == Global {
+			verdict = g.CheckGlobal(explore.Naming)
+		} else {
+			verdict = g.CheckWeak(explore.Naming)
+		}
+		if !verdict.OK {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package search
+
+import (
+	"testing"
+
+	"popnaming/internal/core"
+)
+
+func TestEnumerateCounts(t *testing.T) {
+	// q^q * (q^2)^C(q,2): q=2 -> 4*4 = 16; q=3 -> 27*729 = 19683.
+	cases := []struct{ q, want int }{{2, 16}, {3, 19683}}
+	for _, c := range cases {
+		got := EnumerateSymmetric(c.q, func(*core.RuleTable) bool { return true })
+		if got != c.want {
+			t.Errorf("q=%d: enumerated %d protocols, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	count := 0
+	got := EnumerateSymmetric(3, func(*core.RuleTable) bool {
+		count++
+		return count < 5
+	})
+	if got != 5 {
+		t.Errorf("early stop enumerated %d, want 5", got)
+	}
+}
+
+func TestEnumeratedProtocolsAreValid(t *testing.T) {
+	checked := 0
+	EnumerateSymmetric(2, func(tab *core.RuleTable) bool {
+		if err := core.CheckProtocol(tab); err != nil {
+			t.Errorf("enumerated protocol invalid: %v", err)
+		}
+		if !tab.Symmetric() {
+			t.Errorf("enumerated protocol not symmetric: %s", tab)
+		}
+		checked++
+		return true
+	})
+	if checked != 16 {
+		t.Fatalf("checked %d, want 16", checked)
+	}
+}
+
+func TestEnumerationIsExhaustiveAndDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	EnumerateSymmetric(2, func(tab *core.RuleTable) bool {
+		key := ""
+		for x := core.State(0); x < 2; x++ {
+			for y := core.State(0); y < 2; y++ {
+				a, b := tab.Mobile(x, y)
+				key += string(rune('0'+a)) + string(rune('0'+b))
+			}
+		}
+		if seen[key] {
+			t.Errorf("duplicate protocol %q", key)
+		}
+		seen[key] = true
+		return true
+	})
+	if len(seen) != 16 {
+		t.Fatalf("saw %d distinct protocols, want 16", len(seen))
+	}
+}
+
+// TestProp2NoTwoStateNaming: Proposition 1/2 at q = 2 — no symmetric
+// leaderless 2-state protocol names two agents, under either fairness,
+// with either initialization regime.
+func TestProp2NoTwoStateNaming(t *testing.T) {
+	for _, f := range []Fairness{Global, Weak} {
+		for _, init := range []Init{BestUniform, Arbitrary} {
+			r := SymmetricNaming(2, []int{2}, f, init)
+			if len(r.Survivors) != 0 {
+				t.Errorf("q=2 %s/%s: unexpected survivors: %v", f, init, r.Survivors)
+			}
+			if r.Protocols != 16 {
+				t.Errorf("q=2: enumerated %d, want 16", r.Protocols)
+			}
+		}
+	}
+}
+
+// TestProp2NoThreeStateSelfStabilizingNaming: the P-state lower bound
+// behind Proposition 13, machine-checked at P = 3 — none of the 19683
+// symmetric leaderless 3-state protocols self-stabilizingly names a
+// 3-agent population even under global fairness (Proposition 13's
+// protocol needs P+1 = 4 states for this regime).
+func TestProp2NoThreeStateSelfStabilizingNaming(t *testing.T) {
+	r := SymmetricNaming(3, []int{3}, Global, Arbitrary)
+	if len(r.Survivors) != 0 {
+		t.Fatalf("unexpected survivors: %v", r.Survivors)
+	}
+	if r.Protocols != 19683 {
+		t.Fatalf("enumerated %d, want 19683", r.Protocols)
+	}
+}
+
+// TestProp1NoThreeStateUniformNamingWeak: Proposition 1 at q = 3 — even
+// granted its favourite uniform start, no symmetric leaderless 3-state
+// protocol names populations of sizes 2 and 3 under weak fairness.
+func TestProp1NoThreeStateUniformNamingWeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive q=3 search skipped in -short mode")
+	}
+	r := SymmetricNaming(3, []int{2, 3}, Weak, BestUniform)
+	if len(r.Survivors) != 0 {
+		t.Fatalf("unexpected survivors: %v", r.Survivors)
+	}
+}
+
+// TestSearchFindsPositiveControl: sanity-check that the search harness
+// CAN find survivors when they exist — naming a SINGLE agent is trivial
+// (every protocol names N=1), so the same pipeline with sizes=[1] must
+// report every candidate as a survivor.
+func TestSearchFindsPositiveControl(t *testing.T) {
+	r := SymmetricNaming(2, []int{1}, Weak, Arbitrary)
+	if len(r.Survivors) != r.Protocols {
+		t.Fatalf("N=1 should be solvable by every protocol: %d/%d survived",
+			len(r.Survivors), r.Protocols)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := SymmetricNaming(2, []int{2}, Global, BestUniform)
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,35 @@
+package seq
+
+import "testing"
+
+// FuzzAt checks the ruler-sequence recurrences for arbitrary indices:
+// At(2k) = At(k) + 1, At(2k+1) = 1, and the value bound
+// At(k) <= log2(k) + 1.
+func FuzzAt(f *testing.F) {
+	f.Add(uint32(1))
+	f.Add(uint32(2))
+	f.Add(uint32(1024))
+	f.Add(uint32(3<<20 + 7))
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		k := int(raw%several) + 1
+		v := At(k)
+		if v < 1 {
+			t.Fatalf("At(%d) = %d < 1", k, v)
+		}
+		if At(2*k) != v+1 {
+			t.Fatalf("At(2*%d) = %d, want %d", k, At(2*k), v+1)
+		}
+		if At(2*k+1) != 1 {
+			t.Fatalf("At(2*%d+1) = %d, want 1", k, At(2*k+1))
+		}
+		// v is the largest power-of-two exponent dividing k, plus one.
+		if k%(1<<uint(v-1)) != 0 {
+			t.Fatalf("2^%d does not divide %d", v-1, k)
+		}
+		if v <= 62 && k%(1<<uint(v)) == 0 {
+			t.Fatalf("2^%d divides %d; At should have been larger", v, k)
+		}
+	})
+}
+
+const several = 1 << 28

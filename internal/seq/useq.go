@@ -1,0 +1,76 @@
+// Package seq implements the U* naming sequence used by the space-optimal
+// counting protocol of Beauquier, Burman, Clavière and Sohier (DISC 2015),
+// which Protocols 1-3 of the naming paper are built on.
+//
+// The sequence is defined recursively by
+//
+//	U_1 = 1
+//	U_n = U_{n-1}, n, U_{n-1}
+//
+// so |U_n| = 2^n - 1 and the elements of U_n lie in [1, n]. U_n is a
+// prefix-closed family: U_{n-1} is a prefix of U_n, and the k-th element
+// (1-based) is independent of n whenever k <= 2^n - 1. The k-th element of
+// the limiting infinite sequence (the "ruler sequence") equals v2(k) + 1,
+// where v2 is the 2-adic valuation; this gives O(1) indexed access without
+// materializing the exponentially long sequence.
+package seq
+
+import "math/bits"
+
+// At returns the k-th element (1-based) of the infinite ruler sequence
+// U* = 1, 2, 1, 3, 1, 2, 1, 4, ... It panics if k < 1.
+func At(k int) int {
+	if k < 1 {
+		panic("seq: U* is 1-indexed; k must be >= 1")
+	}
+	return bits.TrailingZeros64(uint64(k)) + 1
+}
+
+// Len returns l_n = |U_n| = 2^n - 1, saturating at 2^62 - 1 for n >= 62
+// (the true length no longer fits an int there; since the counting
+// protocols advance their U* pointer by at most one per interaction, no
+// realizable execution distinguishes the saturated value from the true
+// one). It panics if n < 0.
+func Len(n int) int {
+	if n < 0 {
+		panic("seq: negative n")
+	}
+	if n >= 62 {
+		return 1<<62 - 1
+	}
+	return (1 << uint(n)) - 1
+}
+
+// Materialize returns U_n as an explicit slice. Intended for tests and
+// small n; it panics for n large enough that 2^n - 1 elements would be
+// unreasonable to allocate (n > 24).
+func Materialize(n int) []int {
+	if n < 1 {
+		panic("seq: Materialize requires n >= 1")
+	}
+	if n > 24 {
+		panic("seq: Materialize limited to n <= 24")
+	}
+	out := make([]int, 0, Len(n))
+	var build func(m int)
+	build = func(m int) {
+		if m == 1 {
+			out = append(out, 1)
+			return
+		}
+		build(m - 1)
+		out = append(out, m)
+		build(m - 1)
+	}
+	build(n)
+	return out
+}
+
+// CountOf returns how many times value v appears in U_n: 2^(n-v) for
+// 1 <= v <= n, and 0 otherwise.
+func CountOf(n, v int) int {
+	if v < 1 || v > n {
+		return 0
+	}
+	return 1 << uint(n-v)
+}

@@ -1,0 +1,175 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAtPrefix(t *testing.T) {
+	want := []int{1, 2, 1, 3, 1, 2, 1, 4, 1, 2, 1, 3, 1, 2, 1, 5}
+	for i, w := range want {
+		if got := At(i + 1); got != w {
+			t.Errorf("At(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestAtPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(0) did not panic")
+		}
+	}()
+	At(0)
+}
+
+func TestLen(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {2, 3}, {3, 7}, {4, 15}, {10, 1023}, {20, 1<<20 - 1},
+	}
+	for _, c := range cases {
+		if got := Len(c.n); got != c.want {
+			t.Errorf("Len(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLenPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Len(-1) did not panic")
+		}
+	}()
+	Len(-1)
+}
+
+func TestLenSaturates(t *testing.T) {
+	want := 1<<62 - 1
+	for _, n := range []int{62, 64, 100} {
+		if got := Len(n); got != want {
+			t.Errorf("Len(%d) = %d, want saturated %d", n, got, want)
+		}
+	}
+}
+
+// TestMaterializeMatchesAt cross-checks the O(1) indexed access against
+// the explicit recursive construction.
+func TestMaterializeMatchesAt(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		u := Materialize(n)
+		if len(u) != Len(n) {
+			t.Fatalf("|U_%d| = %d, want %d", n, len(u), Len(n))
+		}
+		for i, v := range u {
+			if got := At(i + 1); got != v {
+				t.Fatalf("U_%d[%d] = %d but At(%d) = %d", n, i, v, i+1, got)
+			}
+		}
+	}
+}
+
+// TestRecursiveStructure checks U_n = U_{n-1}, n, U_{n-1} directly.
+func TestRecursiveStructure(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		u, prev := Materialize(n), Materialize(n-1)
+		mid := Len(n - 1)
+		if u[mid] != n {
+			t.Fatalf("middle of U_%d = %d, want %d", n, u[mid], n)
+		}
+		for i, v := range prev {
+			if u[i] != v || u[mid+1+i] != v {
+				t.Fatalf("U_%d does not embed two copies of U_%d at index %d", n, n-1, i)
+			}
+		}
+	}
+}
+
+// TestPrefixClosure: At is independent of which U_n the index is read
+// from, i.e. U_{n-1} is a prefix of U_n — the property Protocol 1's
+// pointer walk relies on when the guess n grows.
+func TestPrefixClosure(t *testing.T) {
+	big := Materialize(12)
+	for n := 1; n < 12; n++ {
+		small := Materialize(n)
+		for i, v := range small {
+			if big[i] != v {
+				t.Fatalf("U_%d[%d] = %d differs from U_12[%d] = %d", n, i, v, i, big[i])
+			}
+		}
+	}
+}
+
+func TestCountOf(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		counts := make(map[int]int)
+		for _, v := range Materialize(n) {
+			counts[v]++
+		}
+		for v := 0; v <= n+1; v++ {
+			if got := CountOf(n, v); got != counts[v] {
+				t.Errorf("CountOf(%d, %d) = %d, want %d", n, v, got, counts[v])
+			}
+		}
+	}
+}
+
+// Property: every element of the first l_n positions is in [1, n], and
+// value n appears exactly once in U_n — the "middle marker" that forces
+// Protocol 1's guess upward exactly when needed.
+func TestValueRangeProperty(t *testing.T) {
+	prop := func(k uint16) bool {
+		idx := int(k%uint16(Len(14))) + 1
+		v := At(idx)
+		return v >= 1 && v <= 14
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: At(2k) = At(k) + ... the ruler recurrences: At(2k) = At(k)+1
+// and At(2k+1) = 1.
+func TestRulerRecurrences(t *testing.T) {
+	even := func(k uint32) bool {
+		i := int(k%100000) + 1
+		return At(2*i) == At(i)+1
+	}
+	odd := func(k uint32) bool {
+		i := int(k % 100000)
+		return At(2*i+1) == 1
+	}
+	if err := quick.Check(even, nil); err != nil {
+		t.Errorf("At(2k) = At(k)+1 failed: %v", err)
+	}
+	if err := quick.Check(odd, nil); err != nil {
+		t.Errorf("At(2k+1) = 1 failed: %v", err)
+	}
+}
+
+// TestNamingSufficiency verifies the property that makes U* work for
+// naming: walking any window of U_n long enough always offers every name
+// 1..n. Concretely, value v appears in U_n with period 2^v, so any 2^n
+// consecutive indices include n at least once.
+func TestNamingSufficiency(t *testing.T) {
+	const n = 6
+	period := 1 << n
+	limit := 4 * period
+	for startIdx := 1; startIdx+period <= limit; startIdx++ {
+		seen := false
+		for i := startIdx; i < startIdx+period; i++ {
+			if At(i) == n {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			t.Fatalf("value %d absent from window [%d, %d)", n, startIdx, startIdx+period)
+		}
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		At(i + 1)
+	}
+}

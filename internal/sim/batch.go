@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"popnaming/internal/core"
+	"popnaming/internal/sched"
+)
+
+// Trial describes one independent execution of a batch: its starting
+// configuration and scheduler. Batches share one Protocol value across
+// goroutines, which is safe because protocols are immutable and their
+// transition functions are pure.
+type Trial struct {
+	Cfg   *core.Config
+	Sched sched.Scheduler
+}
+
+// BatchResult pairs a trial index with its outcome.
+type BatchResult struct {
+	Trial  int
+	Result Result
+}
+
+// RunBatch executes independent trials concurrently on up to `workers`
+// goroutines (0 selects GOMAXPROCS) and returns the results indexed by
+// trial. mkTrial is called exactly once per trial index, from the worker
+// goroutine that runs it; the configurations and schedulers it returns
+// must not be shared across trials.
+func RunBatch(pr core.Protocol, trials, budget, workers int, mkTrial func(trial int) Trial) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	out := make([]BatchResult, trials)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= trials {
+					return
+				}
+				t := mkTrial(i)
+				res := NewRunner(pr, t.Sched, t.Cfg).Run(budget)
+				out[i] = BatchResult{Trial: i, Result: res}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,190 @@
+// Package sim drives protocol executions: it couples a protocol, a
+// scheduler and a starting configuration, runs interactions until the
+// configuration is silent (terminal) or a step budget is exhausted, and
+// reports convergence statistics. It also provides configuration
+// construction helpers (uniform, arbitrary, adversarial) and transient
+// fault injection for the self-stabilization experiments.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"popnaming/internal/core"
+	"popnaming/internal/sched"
+	"popnaming/internal/trace"
+)
+
+// Result summarizes one execution.
+type Result struct {
+	// Converged reports whether a silent configuration was reached
+	// within the step budget.
+	Converged bool
+	// Steps is the number of interactions executed, including the null
+	// ones. When Converged, the count excludes the quiet tail consumed
+	// by silence detection only in the sense reported by QuietTail.
+	Steps int
+	// NonNull is the number of state-changing interactions.
+	NonNull int
+	// Final is the last configuration (aliased, not copied).
+	Final *core.Config
+}
+
+// ParallelTime returns the standard parallel-time normalization:
+// interactions divided by population size.
+func (r Result) ParallelTime(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Steps) / float64(n)
+}
+
+func (r Result) String() string {
+	status := "did not converge"
+	if r.Converged {
+		status = "converged"
+	}
+	return fmt.Sprintf("%s after %d interactions (%d non-null): %s", status, r.Steps, r.NonNull, r.Final)
+}
+
+// Runner executes one protocol instance over one configuration.
+type Runner struct {
+	// Proto, Sched and Cfg define the execution. Cfg is mutated in
+	// place as interactions are applied.
+	Proto core.Protocol
+	Sched sched.Scheduler
+	Cfg   *core.Config
+
+	// QuietThreshold is the number of consecutive null interactions
+	// after which the runner checks the configuration for silence
+	// (convergence). Zero selects a default proportional to the square
+	// of the population size.
+	QuietThreshold int
+
+	// OnStep, when non-nil, receives every interaction event (for trace
+	// recording and fairness audits).
+	OnStep func(trace.Event)
+
+	steps   int
+	nonNull int
+	quiet   int
+}
+
+// NewRunner returns a runner over the given protocol, scheduler and
+// starting configuration.
+func NewRunner(p core.Protocol, s sched.Scheduler, c *core.Config) *Runner {
+	if core.HasLeader(p) != (c.Leader != nil) {
+		panic(fmt.Sprintf("sim: protocol %q and configuration disagree about leader presence", p.Name()))
+	}
+	return &Runner{Proto: p, Sched: s, Cfg: c}
+}
+
+// Steps returns the number of interactions executed so far.
+func (r *Runner) Steps() int { return r.steps }
+
+// NonNull returns the number of state-changing interactions so far.
+func (r *Runner) NonNull() int { return r.nonNull }
+
+// Step executes one interaction and reports whether it was non-null.
+func (r *Runner) Step() bool {
+	pair := r.Sched.Next()
+	changed := core.ApplyPair(r.Proto, r.Cfg, pair)
+	if r.OnStep != nil {
+		r.OnStep(trace.Event{Step: r.steps, Pair: pair, NonNull: changed})
+	}
+	r.steps++
+	if changed {
+		r.nonNull++
+		r.quiet = 0
+	} else {
+		r.quiet++
+	}
+	return changed
+}
+
+func (r *Runner) quietThreshold() int {
+	if r.QuietThreshold > 0 {
+		return r.QuietThreshold
+	}
+	n := r.Cfg.N()
+	t := 4 * n * n
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
+// Run executes interactions until the configuration is silent or
+// maxSteps interactions have been executed, and returns the result.
+// Silence is checked initially and then whenever the execution has been
+// quiet (all-null) for a full QuietThreshold window, so the reported
+// Steps may include a quiet tail of up to one window.
+func (r *Runner) Run(maxSteps int) Result {
+	if core.Silent(r.Proto, r.Cfg) {
+		return Result{Converged: true, Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
+	}
+	threshold := r.quietThreshold()
+	for r.steps < maxSteps {
+		r.Step()
+		if r.quiet > 0 && r.quiet%threshold == 0 && core.Silent(r.Proto, r.Cfg) {
+			return Result{Converged: true, Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
+		}
+	}
+	return Result{Converged: core.Silent(r.Proto, r.Cfg), Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
+}
+
+// UniformConfig builds the protocol's intended starting configuration
+// for n mobile agents: the uniform initial mobile state when the
+// protocol declares one (state 0 otherwise), and the initialized leader
+// when the protocol has one.
+func UniformConfig(p core.Protocol, n int) *core.Config {
+	var s core.State
+	if up, ok := p.(core.UniformInitProtocol); ok {
+		s = up.InitMobile()
+	}
+	c := core.NewConfig(n, s)
+	if lp, ok := p.(core.LeaderProtocol); ok {
+		c.Leader = lp.InitLeader()
+	}
+	return c
+}
+
+// ArbitraryConfig builds an adversarially initialized configuration: all
+// mobile states drawn by the protocol's RandomMobile, and — when the
+// protocol supports arbitrary leader initialization — a random leader
+// state; otherwise the initialized leader.
+func ArbitraryConfig(p core.ArbitraryInitProtocol, n int, r *rand.Rand) *core.Config {
+	c := core.NewConfig(n, 0)
+	for i := range c.Mobile {
+		c.Mobile[i] = p.RandomMobile(r)
+	}
+	switch lp := core.Protocol(p).(type) {
+	case core.ArbitraryLeaderProtocol:
+		c.Leader = lp.RandomLeader(r)
+	case core.LeaderProtocol:
+		c.Leader = lp.InitLeader()
+	}
+	return c
+}
+
+// Corrupt injects a transient fault: it overwrites the states of k
+// distinct randomly chosen mobile agents with arbitrary states, and —
+// when corruptLeader is set and the protocol tolerates it — replaces the
+// leader state with an arbitrary one. It panics if k exceeds the
+// population size or if corruptLeader is requested for a protocol
+// without RandomLeader support.
+func Corrupt(p core.ArbitraryInitProtocol, c *core.Config, r *rand.Rand, k int, corruptLeader bool) {
+	if k > c.N() {
+		panic(fmt.Sprintf("sim: cannot corrupt %d of %d agents", k, c.N()))
+	}
+	for _, i := range r.Perm(c.N())[:k] {
+		c.Mobile[i] = p.RandomMobile(r)
+	}
+	if corruptLeader {
+		alp, ok := core.Protocol(p).(core.ArbitraryLeaderProtocol)
+		if !ok {
+			panic(fmt.Sprintf("sim: protocol %q does not support leader corruption", p.Name()))
+		}
+		c.Leader = alp.RandomLeader(r)
+	}
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad extremes: %+v", s)
+	}
+	if !approx(s.Mean, 3, 1e-12) || !approx(s.Median, 3, 1e-12) {
+		t.Fatalf("bad center: %+v", s)
+	}
+	if !approx(s.StdDev, math.Sqrt(2), 1e-12) {
+		t.Fatalf("bad sd: %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !approx(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFitExp2Recovers: synthesize y = 3 * 2^(0.9 x) and recover the
+// parameters exactly (no noise).
+func TestFitExp2Recovers(t *testing.T) {
+	x := []float64{2, 4, 8, 12, 16}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 * math.Exp2(0.9*v)
+	}
+	f := FitExp2(x, y)
+	if !approx(f.A, 3, 1e-9) || !approx(f.B, 0.9, 1e-12) || !approx(f.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+// TestFitPowerRecovers: y = 2 x^3.
+func TestFitPowerRecovers(t *testing.T) {
+	x := []float64{2, 4, 8, 16, 32}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 2 * math.Pow(v, 3)
+	}
+	f := FitPower(x, y)
+	if !approx(f.A, 2, 1e-9) || !approx(f.B, 3, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+// TestBetterFitDiscriminates: exponential data prefers the exponential
+// model and vice versa.
+func TestBetterFitDiscriminates(t *testing.T) {
+	x := []float64{2, 4, 8, 12, 16, 20}
+	exp := make([]float64, len(x))
+	pow := make([]float64, len(x))
+	for i, v := range x {
+		exp[i] = math.Exp2(v)
+		pow[i] = math.Pow(v, 2.5)
+	}
+	if f := BetterFit(x, exp); f.Model != "y = A*2^(B*x)" {
+		t.Errorf("exponential data fit as %s", f.Model)
+	}
+	if f := BetterFit(x, pow); f.Model != "y = A*x^B" {
+		t.Errorf("power data fit as %s", f.Model)
+	}
+}
+
+// TestFitWithNoise: parameters recovered within tolerance under mild
+// multiplicative noise.
+func TestFitWithNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := []float64{2, 4, 6, 8, 10, 12, 14, 16}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 5 * math.Exp2(1.1*v) * (1 + 0.05*(r.Float64()-0.5))
+	}
+	f := FitExp2(x, y)
+	if math.Abs(f.B-1.1) > 0.05 {
+		t.Fatalf("slope %v too far from 1.1", f.B)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R² = %v", f.R2)
+	}
+}
+
+// Property: Summarize is permutation-invariant and bounded by extremes.
+func TestSummarizeProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		for i, u := range raw {
+			v[i] = float64(u)
+		}
+		s1 := Summarize(v)
+		perm := r.Perm(len(v))
+		shuffled := make([]float64, len(v))
+		for i, p := range perm {
+			shuffled[i] = v[p]
+		}
+		s2 := Summarize(shuffled)
+		return s1 == s2 &&
+			s1.Min <= s1.Median && s1.Median <= s1.Max &&
+			s1.Min <= s1.Mean && s1.Mean <= s1.Max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogFitRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero value")
+		}
+	}()
+	FitExp2([]float64{1, 2}, []float64{0, 1})
+}

@@ -1,0 +1,123 @@
+// Package trace records interaction histories of protocol executions:
+// which pair interacted at each step, whether the transition was
+// non-null, and (optionally) configuration snapshots. Traces feed the
+// fairness auditors and the counterexample reports of the impossibility
+// experiments.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"popnaming/internal/core"
+)
+
+// Event is one interaction of an execution.
+type Event struct {
+	// Step is the 0-based index of the interaction.
+	Step int
+	// Pair identifies the interacting agents.
+	Pair core.Pair
+	// NonNull reports whether the transition changed any state.
+	NonNull bool
+}
+
+func (e Event) String() string {
+	mark := " "
+	if e.NonNull {
+		mark = "*"
+	}
+	return fmt.Sprintf("#%d %s%s", e.Step, e.Pair, mark)
+}
+
+// Collector accumulates every event of an execution. The zero value is
+// ready to use.
+type Collector struct {
+	events []Event
+}
+
+// Record appends an event.
+func (c *Collector) Record(e Event) { c.events = append(c.events, e) }
+
+// Events returns the recorded events, aliasing internal storage.
+func (c *Collector) Events() []Event { return c.events }
+
+// Pairs returns just the interaction pairs, in order.
+func (c *Collector) Pairs() []core.Pair {
+	out := make([]core.Pair, len(c.events))
+	for i, e := range c.events {
+		out[i] = e.Pair
+	}
+	return out
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// NonNullCount returns how many recorded transitions were non-null.
+func (c *Collector) NonNullCount() int {
+	n := 0
+	for _, e := range c.events {
+		if e.NonNull {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset discards all recorded events.
+func (c *Collector) Reset() { c.events = c.events[:0] }
+
+// Tail formats the last k events, one per line, for failure reports.
+func (c *Collector) Tail(k int) string {
+	start := len(c.events) - k
+	if start < 0 {
+		start = 0
+	}
+	var b strings.Builder
+	for _, e := range c.events[start:] {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Ring keeps only the most recent capacity events, for long executions
+// where a full log would be too large. The zero value is unusable; use
+// NewRing.
+type Ring struct {
+	buf   []Event
+	next  int
+	total int
+}
+
+// NewRing returns a ring log holding the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic("trace: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (r *Ring) Record(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Total returns how many events were recorded over the execution,
+// including evicted ones.
+func (r *Ring) Total() int { return r.total }
+
+// Events returns the retained events in chronological order.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

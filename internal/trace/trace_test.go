@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"popnaming/internal/core"
+)
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	events := []Event{
+		{Step: 0, Pair: core.Pair{A: 0, B: 1}, NonNull: true},
+		{Step: 1, Pair: core.Pair{A: core.LeaderIndex, B: 0}, NonNull: false},
+		{Step: 2, Pair: core.Pair{A: 1, B: 2}, NonNull: true},
+	}
+	for _, e := range events {
+		c.Record(e)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.NonNullCount() != 2 {
+		t.Fatalf("NonNullCount = %d, want 2", c.NonNullCount())
+	}
+	pairs := c.Pairs()
+	if len(pairs) != 3 || pairs[1] != (core.Pair{A: core.LeaderIndex, B: 0}) {
+		t.Fatalf("Pairs = %v", pairs)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+}
+
+func TestCollectorTail(t *testing.T) {
+	var c Collector
+	for i := 0; i < 5; i++ {
+		c.Record(Event{Step: i, Pair: core.Pair{A: 0, B: 1}})
+	}
+	tail := c.Tail(2)
+	if strings.Count(tail, "\n") != 2 {
+		t.Fatalf("Tail(2) = %q", tail)
+	}
+	if !strings.Contains(tail, "#4") || !strings.Contains(tail, "#3") {
+		t.Fatalf("Tail(2) = %q, want last two events", tail)
+	}
+	if got := c.Tail(100); strings.Count(got, "\n") != 5 {
+		t.Fatalf("Tail(100) should return all events, got %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Step: 7, Pair: core.Pair{A: core.LeaderIndex, B: 2}, NonNull: true}
+	if got := e.String(); got != "#7 (L,2)*" {
+		t.Errorf("String = %q", got)
+	}
+	e.NonNull = false
+	if got := e.String(); got != "#7 (L,2) " {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 7; i++ {
+		r.Record(Event{Step: i, Pair: core.Pair{A: 0, B: 1}})
+	}
+	if r.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", r.Total())
+	}
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained %d events, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if e.Step != 4+i {
+			t.Errorf("event %d has Step %d, want %d (chronological order)", i, e.Step, 4+i)
+		}
+	}
+}
+
+func TestRingPartiallyFilled(t *testing.T) {
+	r := NewRing(10)
+	r.Record(Event{Step: 0})
+	r.Record(Event{Step: 1})
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Step != 0 || ev[1].Step != 1 {
+		t.Fatalf("Events = %v", ev)
+	}
+}
+
+func TestRingRejectsZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
