@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race fmt bench
+
+# check is the single entry point: everything CI (or a reviewer) needs.
+check: vet build race fmt
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fmt fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

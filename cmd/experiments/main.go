@@ -18,7 +18,14 @@
 //	experiments all            everything above
 //
 // With -json the selected experiments are emitted as one JSON document
-// on stdout instead of rendered tables.
+// on stdout instead of rendered tables (including a "timings" section
+// with per-experiment wall-clock times and tags).
+//
+// Observability (see docs/observability.md): -journal records one
+// "experiment" line per experiment run, -metrics prints the timing
+// table, -progress-every 1 announces each experiment on stderr as it
+// completes, and -pprof captures CPU/heap profiles. The seed actually
+// used is always reported, including when -seed 0 auto-derives one.
 package main
 
 import (
@@ -26,13 +33,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"popnaming/internal/experiments"
+	"popnaming/internal/obs"
+	"popnaming/internal/report"
 )
 
 // results accumulates the structured outputs for -json mode. Fields are
 // nil when the corresponding experiment was not selected.
 type results struct {
+	Seed          int64                            `json:"seed"`
 	Table1        []experiments.Cell               `json:"table1,omitempty"`
 	Sweeps        []experiments.SweepResult        `json:"sweeps,omitempty"`
 	FullPop       *experiments.SweepResult         `json:"fullPopulation,omitempty"`
@@ -46,15 +57,62 @@ type results struct {
 	Trajectories  []experiments.Trajectory         `json:"trajectories,omitempty"`
 	Distributions []experiments.DistPoint          `json:"distributions,omitempty"`
 	Oracle        []experiments.OraclePoint        `json:"oracleSchedules,omitempty"`
+	Timings       []obs.ExperimentRec              `json:"timings,omitempty"`
+}
+
+// suiteRunner times each selected experiment, journals it, and keeps
+// the timing records for the -metrics table and -json output.
+type suiteRunner struct {
+	sink     *obs.JournalSink
+	progress int
+	timings  []obs.ExperimentRec
+	ok       bool
+}
+
+// run executes the experiment registered under key. body returns
+// whether the experiment's checks passed.
+func (sr *suiteRunner) run(key string, body func() bool) {
+	entry, _ := experiments.SuiteLookup(key)
+	start := time.Now()
+	ok := body()
+	rec := obs.NewExperimentRec(key, entry.Tag, ok, time.Since(start).Nanoseconds())
+	rec.Detail = entry.Description
+	sr.timings = append(sr.timings, rec)
+	if sr.sink != nil {
+		sr.sink.Emit(rec)
+	}
+	if sr.progress > 0 && len(sr.timings)%sr.progress == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %s (%s) done in %v\n",
+			key, entry.Tag, time.Duration(rec.WallNS).Round(time.Millisecond))
+	}
+	if !ok {
+		sr.ok = false
+	}
+}
+
+func (sr *suiteRunner) dump(w *os.File) {
+	t := report.NewTable("experiment timings", "experiment", "tag", "ok", "wall")
+	var total time.Duration
+	for _, r := range sr.timings {
+		d := time.Duration(r.WallNS)
+		total += d
+		t.AddRowf(r.Key, r.Tag, r.OK, d.Round(time.Millisecond))
+	}
+	t.AddRowf("total", "", sr.ok, total.Round(time.Millisecond))
+	t.Render(w)
 }
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 1, "random seed")
-		p      = flag.Int("p", 6, "population bound for table1 simulation checks")
-		mcp    = flag.Int("mcp", 3, "population bound for exhaustive model checks")
-		maxP   = flag.Int("maxp", 4, "largest P for the full-population cost probe")
-		asJSON = flag.Bool("json", false, "emit structured JSON instead of tables")
+		seedFlag = flag.Int64("seed", 1, "random seed (0: auto-derive from the clock; the seed used is reported)")
+		p        = flag.Int("p", 6, "population bound for table1 simulation checks")
+		mcp      = flag.Int("mcp", 3, "population bound for exhaustive model checks")
+		maxP     = flag.Int("maxp", 4, "largest P for the full-population cost probe")
+		asJSON   = flag.Bool("json", false, "emit structured JSON instead of tables")
+		journal  = flag.String("journal", "", "write a JSONL run journal to this file (see docs/observability.md)")
+		metrics  = flag.Bool("metrics", false, "print the per-experiment timing table")
+		progress = flag.Int("progress-every", 0, "announce every k-th completed experiment on stderr (0: off)")
+		pprofPfx = flag.String("pprof", "", "write CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
 
@@ -62,118 +120,199 @@ func main() {
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
 	}
-	switch which {
-	case "all", "table1", "sweep", "fullpop", "recovery", "ablation", "separation", "slack", "resetablation", "exact", "thm11", "trajectory", "distribution", "oracle":
-	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", which)
-		os.Exit(2)
+	if which != "all" {
+		if _, found := experiments.SuiteLookup(which); !found {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want all | %v)\n",
+				which, experiments.SuiteKeys())
+			os.Exit(2)
+		}
 	}
 
-	ok := true
+	seed, derived := obs.ResolveSeed(*seedFlag)
+	seedOut := os.Stdout
+	if *asJSON {
+		seedOut = os.Stderr
+	}
+	note := ""
+	if derived {
+		note = " (auto-derived)"
+	}
+	fmt.Fprintf(seedOut, "experiments: seed %d%s\n", seed, note)
+
+	if *pprofPfx != "" {
+		stop, perr := obs.StartPprof(*pprofPfx)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", perr)
+			os.Exit(1)
+		}
+		defer func() {
+			if serr := stop(); serr != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof:", serr)
+			}
+		}()
+	}
+
+	sr := &suiteRunner{progress: *progress, ok: true}
+	var closeJournal func() error
+	if *journal != "" {
+		s, closeFn, jerr := obs.OpenJournal(*journal)
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", jerr)
+			os.Exit(1)
+		}
+		sr.sink = s
+		closeJournal = closeFn
+		hdr := obs.NewHeader("experiments")
+		hdr.P = *p
+		hdr.Seed = seed
+		hdr.SeedDerived = derived
+		sr.sink.Emit(hdr)
+	}
+
 	runAll := which == "all"
-	var out results
+	out := results{Seed: seed}
 
 	if runAll || which == "table1" {
-		cells := experiments.Table1(experiments.Table1Options{P: *p, ModelCheckP: *mcp, Seed: *seed})
-		out.Table1 = cells
-		if !*asJSON {
-			experiments.RenderTable1(os.Stdout, cells)
-			fmt.Println()
-		}
-		for _, c := range cells {
-			if !c.OK {
-				ok = false
+		sr.run("table1", func() bool {
+			cells := experiments.Table1(experiments.Table1Options{P: *p, ModelCheckP: *mcp, Seed: seed})
+			out.Table1 = cells
+			if !*asJSON {
+				experiments.RenderTable1(os.Stdout, cells)
+				fmt.Println()
 			}
-		}
+			for _, c := range cells {
+				if !c.OK {
+					return false
+				}
+			}
+			return true
+		})
 	}
 	if runAll || which == "sweep" {
-		out.Sweeps = experiments.StandardSweeps(*seed)
-		if !*asJSON {
-			experiments.RenderSweeps(os.Stdout, out.Sweeps)
-			fmt.Println()
-		}
+		sr.run("sweep", func() bool {
+			out.Sweeps = experiments.StandardSweeps(seed)
+			if !*asJSON {
+				experiments.RenderSweeps(os.Stdout, out.Sweeps)
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "fullpop" {
-		fp := experiments.FullPopulationCost(*seed, *maxP)
-		out.FullPop = &fp
-		if !*asJSON {
-			experiments.RenderSweeps(os.Stdout, []experiments.SweepResult{fp})
-			fmt.Println()
-		}
+		sr.run("fullpop", func() bool {
+			fp := experiments.FullPopulationCost(seed, *maxP)
+			out.FullPop = &fp
+			if !*asJSON {
+				experiments.RenderSweeps(os.Stdout, []experiments.SweepResult{fp})
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "recovery" {
-		out.Recovery = experiments.StandardRecovery(*seed)
-		if !*asJSON {
-			experiments.RenderRecovery(os.Stdout, out.Recovery)
-			fmt.Println()
-		}
+		sr.run("recovery", func() bool {
+			out.Recovery = experiments.StandardRecovery(seed)
+			if !*asJSON {
+				experiments.RenderRecovery(os.Stdout, out.Recovery)
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "ablation" {
-		ab := experiments.UStarAblation(3)
-		out.UStarAblation = &ab
-		if !*asJSON {
-			experiments.RenderAblation(os.Stdout, ab)
-			fmt.Println()
-		}
+		sr.run("ablation", func() bool {
+			ab := experiments.UStarAblation(3)
+			out.UStarAblation = &ab
+			if !*asJSON {
+				experiments.RenderAblation(os.Stdout, ab)
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "separation" {
-		sep := experiments.FairnessSeparation(3, *seed)
-		out.Separation = &sep
-		if !*asJSON {
-			experiments.RenderSeparation(os.Stdout, sep)
-			fmt.Println()
-		}
+		sr.run("separation", func() bool {
+			sep := experiments.FairnessSeparation(3, seed)
+			out.Separation = &sep
+			if !*asJSON {
+				experiments.RenderSeparation(os.Stdout, sep)
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "slack" {
-		out.Slack = experiments.StandardSlack(*seed)
-		if !*asJSON {
-			experiments.RenderSlack(os.Stdout, out.Slack)
-			fmt.Println()
-		}
+		sr.run("slack", func() bool {
+			out.Slack = experiments.StandardSlack(seed)
+			if !*asJSON {
+				experiments.RenderSlack(os.Stdout, out.Slack)
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "resetablation" {
-		ra := experiments.ResetAblation(2)
-		out.ResetAblation = &ra
-		if !*asJSON {
-			experiments.RenderResetAblation(os.Stdout, ra)
-			fmt.Println()
-		}
+		sr.run("resetablation", func() bool {
+			ra := experiments.ResetAblation(2)
+			out.ResetAblation = &ra
+			if !*asJSON {
+				experiments.RenderResetAblation(os.Stdout, ra)
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "exact" {
-		out.Exact = experiments.ExactTimes()
-		if !*asJSON {
-			experiments.RenderExact(os.Stdout, out.Exact)
-			fmt.Println()
-		}
+		sr.run("exact", func() bool {
+			out.Exact = experiments.ExactTimes()
+			if !*asJSON {
+				experiments.RenderExact(os.Stdout, out.Exact)
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "thm11" {
-		out.Thm11 = experiments.Thm11Scaling(6, 500_000, *seed)
-		if !*asJSON {
-			experiments.RenderThm11(os.Stdout, out.Thm11)
-			fmt.Println()
-		}
+		sr.run("thm11", func() bool {
+			out.Thm11 = experiments.Thm11Scaling(6, 500_000, seed)
+			if !*asJSON {
+				experiments.RenderThm11(os.Stdout, out.Thm11)
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "trajectory" {
-		out.Trajectories = experiments.StandardTrajectories(*seed)
-		if !*asJSON {
-			experiments.RenderTrajectories(os.Stdout, out.Trajectories)
-			fmt.Println()
-		}
+		sr.run("trajectory", func() bool {
+			out.Trajectories = experiments.StandardTrajectories(seed)
+			if !*asJSON {
+				experiments.RenderTrajectories(os.Stdout, out.Trajectories)
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "distribution" {
-		out.Distributions = experiments.Distributions(2000, *seed)
-		if !*asJSON {
-			experiments.RenderDistributions(os.Stdout, out.Distributions)
-			fmt.Println()
-		}
+		sr.run("distribution", func() bool {
+			out.Distributions = experiments.Distributions(2000, seed)
+			if !*asJSON {
+				experiments.RenderDistributions(os.Stdout, out.Distributions)
+				fmt.Println()
+			}
+			return true
+		})
 	}
 	if runAll || which == "oracle" {
-		out.Oracle = experiments.OracleSchedules(*seed)
-		if !*asJSON {
-			experiments.RenderOracle(os.Stdout, out.Oracle)
-			fmt.Println()
-		}
+		sr.run("oracle", func() bool {
+			out.Oracle = experiments.OracleSchedules(seed)
+			if !*asJSON {
+				experiments.RenderOracle(os.Stdout, out.Oracle)
+				fmt.Println()
+			}
+			return true
+		})
 	}
+	out.Timings = sr.timings
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -183,7 +322,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if !ok {
+	if *metrics {
+		sr.dump(seedOut)
+	}
+	if closeJournal != nil {
+		if err := closeJournal(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: journal:", err)
+			os.Exit(1)
+		}
+	}
+	if !sr.ok {
 		fmt.Fprintln(os.Stderr, "experiments: some Table 1 cells disagree with the paper")
 		os.Exit(1)
 	}

@@ -14,18 +14,28 @@
 //	modelcheck -protocol globalp -p 3 -n 3
 //	modelcheck -protocol selfstab -p 2 -n 2 -allleaders
 //	modelcheck -protocol asym -p 3 -n 3 -exact
+//
+// Observability (see docs/observability.md): the checker is fully
+// deterministic — it uses no randomness, so the journal header carries
+// "deterministic":true instead of a seed. -journal records one "stage"
+// line per phase (graph build, global check, weak check, exact
+// analysis), -metrics prints the same timings as a table, and -pprof
+// captures CPU/heap profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"popnaming/internal/core"
 	"popnaming/internal/experiments"
 	"popnaming/internal/explore"
 	"popnaming/internal/markov"
 	"popnaming/internal/naming"
+	"popnaming/internal/obs"
+	"popnaming/internal/report"
 	"popnaming/internal/seq"
 )
 
@@ -37,15 +47,44 @@ func main() {
 		maxNodes   = flag.Int("maxnodes", 1<<21, "state-space cap")
 		exact      = flag.Bool("exact", false, "also compute exact expected convergence times")
 		allLeaders = flag.Bool("allleaders", false, "start from every leader state in domain (Protocol 2 only)")
+		journal    = flag.String("journal", "", "write a JSONL run journal to this file (see docs/observability.md)")
+		metrics    = flag.Bool("metrics", false, "print a per-stage timing table after the check")
+		pprofPfx   = flag.String("pprof", "", "write CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
-	if err := run(*protoKey, *p, *n, *maxNodes, *exact, *allLeaders); err != nil {
+	if err := run(*protoKey, *p, *n, *maxNodes, *exact, *allLeaders, *journal, *metrics, *pprofPfx); err != nil {
 		fmt.Fprintln(os.Stderr, "modelcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(protoKey string, p, n, maxNodes int, exact, allLeaders bool) error {
+// stageTimer journals and accumulates per-phase wall-clock timings.
+type stageTimer struct {
+	sink   *obs.JournalSink
+	stages []obs.StageRec
+}
+
+// time runs f, records its duration under name, and returns f's error.
+func (st *stageTimer) time(name string, f func() (detail string, err error)) error {
+	start := time.Now()
+	detail, err := f()
+	rec := obs.NewStageRec(name, detail, time.Since(start).Nanoseconds())
+	st.stages = append(st.stages, rec)
+	if st.sink != nil {
+		st.sink.Emit(rec)
+	}
+	return err
+}
+
+func (st *stageTimer) dump(w *os.File) {
+	t := report.NewTable("stage timings", "stage", "detail", "wall")
+	for _, s := range st.stages {
+		t.AddRowf(s.Name, s.Detail, time.Duration(s.WallNS).Round(time.Millisecond))
+	}
+	t.Render(w)
+}
+
+func run(protoKey string, p, n, maxNodes int, exact, allLeaders bool, journal string, metrics bool, pprofPfx string) (err error) {
 	spec, err := experiments.Lookup(protoKey)
 	if err != nil {
 		return err
@@ -55,51 +94,116 @@ func run(protoKey string, p, n, maxNodes int, exact, allLeaders bool) error {
 	}
 	proto := spec.New(p)
 
+	if pprofPfx != "" {
+		stop, perr := obs.StartPprof(pprofPfx)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if serr := stop(); serr != nil {
+				fmt.Fprintln(os.Stderr, "modelcheck: pprof:", serr)
+			}
+		}()
+	}
+
+	st := &stageTimer{}
+	if journal != "" {
+		s, closeFn, jerr := obs.OpenJournal(journal)
+		if jerr != nil {
+			return jerr
+		}
+		st.sink = s
+		defer func() {
+			if cerr := closeFn(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+
 	starts, err := buildStarts(proto, n, allLeaders)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol %s (P=%d, %d states), N=%d, %d starting configurations\n",
+	fmt.Printf("protocol %s (P=%d, %d states), N=%d, %d starting configurations (deterministic, no RNG)\n",
 		proto.Name(), p, proto.States(), n, len(starts))
 
-	g, err := explore.Build(proto, starts, explore.Options{MaxNodes: maxNodes})
+	if st.sink != nil {
+		hdr := obs.NewHeader("modelcheck")
+		hdr.Protocol = proto.Name()
+		hdr.P = p
+		hdr.States = proto.States()
+		hdr.Leader = core.HasLeader(proto)
+		hdr.N = n
+		hdr.Deterministic = true
+		if herr := st.sink.Emit(hdr); herr != nil {
+			return herr
+		}
+	}
+
+	var g *explore.Graph
+	err = st.time("build", func() (string, error) {
+		var berr error
+		g, berr = explore.Build(proto, starts, explore.Options{MaxNodes: maxNodes})
+		if berr != nil {
+			return "", berr
+		}
+		return fmt.Sprintf("%d configurations, %d transitions", g.Size(), g.EdgeCount()), nil
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("reachable state space: %d configurations, %d transitions\n", g.Size(), g.EdgeCount())
 
-	gv := g.CheckGlobal(explore.Naming)
-	fmt.Printf("global fairness: %s\n", gv)
+	st.time("check-global", func() (string, error) {
+		gv := g.CheckGlobal(explore.Naming)
+		fmt.Printf("global fairness: %s\n", gv)
+		return fmt.Sprintf("ok=%v", gv.OK), nil
+	})
 
-	wv := g.CheckWeak(explore.Naming)
-	fmt.Printf("weak fairness:   %s\n", wv)
-	if !wv.OK {
-		lasso, lerr := g.ExtractLasso(wv.BadSCC)
-		if lerr != nil {
-			fmt.Printf("lasso extraction failed: %v\n", lerr)
-		} else {
-			fmt.Printf("counterexample %s\n", lasso)
-			fmt.Printf("  prefix: %v\n", lasso.Prefix)
-			fmt.Printf("  cycle:  %v\n", lasso.Cycle)
+	st.time("check-weak", func() (string, error) {
+		wv := g.CheckWeak(explore.Naming)
+		fmt.Printf("weak fairness:   %s\n", wv)
+		if !wv.OK {
+			lasso, lerr := g.ExtractLasso(wv.BadSCC)
+			if lerr != nil {
+				fmt.Printf("lasso extraction failed: %v\n", lerr)
+			} else {
+				fmt.Printf("counterexample %s\n", lasso)
+				fmt.Printf("  prefix: %v\n", lasso.Prefix)
+				fmt.Printf("  cycle:  %v\n", lasso.Cycle)
+			}
 		}
-	}
+		return fmt.Sprintf("ok=%v", wv.OK), nil
+	})
 
 	if exact {
-		chain, merr := markov.New(g)
-		if merr != nil {
-			fmt.Printf("exact analysis unavailable: %v\n", merr)
-			return nil
-		}
-		fmt.Printf("exact E[interactions] worst-case start: %.3f\n", chain.MaxExpected())
-		zero := core.NewConfig(n, 0)
-		if lp, ok := proto.(core.LeaderProtocol); ok {
-			zero.Leader = lp.InitLeader()
-		}
-		if e, zerr := chain.ExpectedSteps(zero); zerr == nil {
-			fmt.Printf("exact E[interactions] from all-zero start: %.3f\n", e)
-		}
+		st.time("exact", func() (string, error) {
+			chain, merr := markov.New(g)
+			if merr != nil {
+				fmt.Printf("exact analysis unavailable: %v\n", merr)
+				return fmt.Sprintf("unavailable: %v", merr), nil
+			}
+			worst := chain.MaxExpected()
+			fmt.Printf("exact E[interactions] worst-case start: %.3f\n", worst)
+			zero := core.NewConfig(n, 0)
+			if lp, ok := proto.(core.LeaderProtocol); ok {
+				zero.Leader = lp.InitLeader()
+			}
+			if e, zerr := chain.ExpectedSteps(zero); zerr == nil {
+				fmt.Printf("exact E[interactions] from all-zero start: %.3f\n", e)
+			}
+			return fmt.Sprintf("worst=%.3f", worst), nil
+		})
 	}
-	return nil
+
+	if metrics {
+		fmt.Println()
+		st.dump(os.Stdout)
+	}
+	if st.sink != nil {
+		return st.sink.Err()
+	}
+	return err
 }
 
 // buildStarts enumerates every mobile configuration; leader protocols

@@ -7,9 +7,17 @@
 //	namesim -protocol asym -p 8 -n 8 -sched roundrobin -init zero
 //	namesim -protocol selfstab -p 6 -n 6 -sched random -init arbitrary -audit
 //	namesim -protocol symglobal -p 5 -n 4 -sched matching -budget 100000
+//	namesim -protocol asym -journal out.jsonl -metrics -progress-every 100000
 //
 // Protocols: asym, symglobal, initleader, selfstab, globalp, counting,
 // naive (see -list).
+//
+// Observability (see docs/observability.md): -journal writes a JSONL
+// run journal (header, periodic progress snapshots, final summary with
+// per-rule fire counts), -metrics prints the metrics tables after the
+// run, -pprof captures CPU and heap profiles, and -seed 0 auto-derives
+// a seed from the clock — the seed actually used is always printed and
+// journaled so any run can be replayed exactly.
 package main
 
 import (
@@ -22,10 +30,30 @@ import (
 	"popnaming/internal/core"
 	"popnaming/internal/experiments"
 	"popnaming/internal/fairness"
+	"popnaming/internal/obs"
 	"popnaming/internal/sched"
 	"popnaming/internal/sim"
 	"popnaming/internal/trace"
 )
+
+// options collects the parsed command line.
+type options struct {
+	proto    string
+	p, n     int
+	sched    string
+	init     string
+	seed     int64
+	derived  bool
+	budget   int
+	audit    bool
+	adv      bool
+	hidden   int
+	hide     int
+	journal  string
+	metrics  bool
+	progress int
+	pprof    string
+}
 
 func main() {
 	var (
@@ -34,13 +62,17 @@ func main() {
 		n        = flag.Int("n", 0, "population size N (default P)")
 		schedKey = flag.String("sched", "random", "scheduler: random | roundrobin | matching | eclipse")
 		initKey  = flag.String("init", "zero", "initialization: zero | uniform | arbitrary")
-		seed     = flag.Int64("seed", 1, "random seed")
+		seed     = flag.Int64("seed", 1, "random seed (0: auto-derive from the clock; the seed used is printed)")
 		budget   = flag.Int("budget", 50_000_000, "max interactions")
 		audit    = flag.Bool("audit", false, "audit the played schedule for weak fairness")
 		adv      = flag.Bool("adversary", false, "use the greedy anti-naming adversary (enforced weak fairness) instead of -sched")
 		hidden   = flag.Int("hidden", 0, "eclipse scheduler: agent to hide")
 		hide     = flag.Int("hide", 100000, "eclipse scheduler: steps to hide for")
 		list     = flag.Bool("list", false, "list protocols and exit")
+		journal  = flag.String("journal", "", "write a JSONL run journal to this file (see docs/observability.md)")
+		metrics  = flag.Bool("metrics", false, "print the run-metrics and rule-firing tables after the run")
+		progress = flag.Int("progress-every", 1_000_000, "journal a progress snapshot every k interactions (0: final snapshot only)")
+		pprofPfx = flag.String("pprof", "", "write CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
 
@@ -51,80 +83,183 @@ func main() {
 		}
 		return
 	}
-	if err := run(*protoKey, *p, *n, *schedKey, *initKey, *seed, *budget, *audit, *adv, *hidden, *hide); err != nil {
+	o := options{
+		proto: *protoKey, p: *p, n: *n, sched: *schedKey, init: *initKey,
+		budget: *budget, audit: *audit, adv: *adv, hidden: *hidden, hide: *hide,
+		journal: *journal, metrics: *metrics, progress: *progress, pprof: *pprofPfx,
+	}
+	o.seed, o.derived = obs.ResolveSeed(*seed)
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "namesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(protoKey string, p, n int, schedKey, initKey string, seed int64, budget int, audit, adv bool, hidden, hide int) error {
-	spec, err := experiments.Lookup(protoKey)
+func run(o options) (err error) {
+	spec, err := experiments.Lookup(o.proto)
 	if err != nil {
 		return err
 	}
-	if n == 0 {
-		n = p
+	if o.n == 0 {
+		o.n = o.p
 	}
-	if n > p {
-		return fmt.Errorf("population size %d exceeds bound P=%d", n, p)
+	if o.n > o.p {
+		return fmt.Errorf("population size %d exceeds bound P=%d", o.n, o.p)
 	}
-	proto := spec.New(p)
+	proto := spec.New(o.p)
 
-	cfg, err := buildConfig(proto, n, initKey, seed)
+	cfg, err := buildConfig(proto, o.n, o.init, o.seed)
 	if err != nil {
 		return err
 	}
-	if adv {
-		return runAdversarial(proto, cfg, n, initKey, budget, audit)
+
+	if o.pprof != "" {
+		stop, perr := obs.StartPprof(o.pprof)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if serr := stop(); serr != nil {
+				fmt.Fprintln(os.Stderr, "namesim: pprof:", serr)
+			}
+		}()
 	}
-	s, err := buildScheduler(proto, n, schedKey, seed, hidden, hide)
+
+	var sink *obs.JournalSink
+	if o.journal != "" {
+		s, closeFn, jerr := obs.OpenJournal(o.journal)
+		if jerr != nil {
+			return jerr
+		}
+		sink = s
+		defer func() {
+			if cerr := closeFn(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+
+	if o.adv {
+		return runAdversarial(proto, cfg, o, sink)
+	}
+	s, err := buildScheduler(proto, o.n, o.sched, o.seed, o.hidden, o.hide)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("protocol %s (P=%d, %d states/agent, symmetric=%v, leader=%v)\n",
 		proto.Name(), proto.P(), proto.States(), proto.Symmetric(), core.HasLeader(proto))
-	fmt.Printf("population N=%d, scheduler %s, init %s, seed %d\n", n, s.Name(), initKey, seed)
+	fmt.Printf("population N=%d, scheduler %s, init %s, seed %d%s\n",
+		o.n, s.Name(), o.init, o.seed, seedNote(o.derived))
 	fmt.Printf("start: %s\n", cfg)
 
+	if sink != nil {
+		hdr := header("namesim", proto, o)
+		hdr.Scheduler = s.Name()
+		if herr := sink.Emit(hdr); herr != nil {
+			return herr
+		}
+	}
+
 	runner := sim.NewRunner(proto, s, cfg)
+	var observer *obs.Observer
+	if sink != nil || o.metrics {
+		observer = obs.NewObserver(o.n, core.HasLeader(proto), obs.ObserverOptions{
+			Sink:          sink,
+			ProgressEvery: o.progress,
+		})
+		runner.Obs = observer
+	}
 	var col trace.Collector
-	if audit {
+	if o.audit {
 		runner.OnStep = col.Record
 	}
-	res := runner.Run(budget)
+	res := runner.Run(o.budget)
 	fmt.Printf("result: %s\n", res)
 	fmt.Printf("valid naming: %v\n", cfg.ValidNaming())
 	if res.Converged {
-		fmt.Printf("parallel time: %.1f\n", res.ParallelTime(n))
+		fmt.Printf("parallel time: %.1f\n", res.ParallelTime(o.n))
 	}
-	if audit {
-		a := fairness.AuditPairs(col.Pairs(), n, core.HasLeader(proto))
+	if o.audit {
+		a := fairness.AuditPairs(col.Pairs(), o.n, core.HasLeader(proto))
 		fmt.Printf("%s\n", a)
+	}
+	if o.metrics {
+		fmt.Println()
+		observer.Dump(os.Stdout)
+	}
+	return err
+}
+
+// runAdversarial drives the execution with the greedy anti-naming
+// adversary under mechanically enforced weak fairness. The adversarial
+// runner only exposes pair events, so journals and metrics from this
+// path carry no per-rule fire counts.
+func runAdversarial(proto core.Protocol, cfg *core.Config, o options, sink *obs.JournalSink) error {
+	fmt.Printf("protocol %s (P=%d, %d states/agent), N=%d, greedy adversary, init %s, seed %d%s\n",
+		proto.Name(), proto.P(), proto.States(), o.n, o.init, o.seed, seedNote(o.derived))
+	fmt.Printf("start: %s\n", cfg)
+	if sink != nil {
+		hdr := header("namesim", proto, o)
+		hdr.Scheduler = "greedy-adversary"
+		if err := sink.Emit(hdr); err != nil {
+			return err
+		}
+	}
+	runner := adversary.NewRunner(proto, cfg, adversary.NewGreedyNaming(proto))
+	var observer *obs.Observer
+	if sink != nil || o.metrics {
+		observer = obs.NewObserver(o.n, core.HasLeader(proto), obs.ObserverOptions{
+			Sink:          sink,
+			ProgressEvery: o.progress,
+		})
+	}
+	var col trace.Collector
+	runner.OnStep = func(e trace.Event) {
+		if o.audit {
+			col.Record(e)
+		}
+		if observer != nil {
+			observer.ObservePair(e.Pair, e.NonNull)
+		}
+	}
+	silent := runner.Run(o.budget)
+	if observer != nil {
+		observer.Finish(silent)
+	}
+	fmt.Printf("silent: %v after %d interactions (%d fairness-forced)\n",
+		silent, runner.Steps(), runner.Forced())
+	fmt.Printf("valid naming: %v\nfinal: %s\n", cfg.ValidNaming(), cfg)
+	if o.audit {
+		a := fairness.AuditPairs(col.Pairs(), o.n, core.HasLeader(proto))
+		fmt.Printf("%s\n", a)
+	}
+	if o.metrics {
+		fmt.Println()
+		observer.Dump(os.Stdout)
 	}
 	return nil
 }
 
-// runAdversarial drives the execution with the greedy anti-naming
-// adversary under mechanically enforced weak fairness.
-func runAdversarial(proto core.Protocol, cfg *core.Config, n int, initKey string, budget int, audit bool) error {
-	fmt.Printf("protocol %s (P=%d, %d states/agent), N=%d, greedy adversary, init %s\n",
-		proto.Name(), proto.P(), proto.States(), n, initKey)
-	fmt.Printf("start: %s\n", cfg)
-	runner := adversary.NewRunner(proto, cfg, adversary.NewGreedyNaming(proto))
-	var col trace.Collector
-	if audit {
-		runner.OnStep = col.Record
+func header(tool string, proto core.Protocol, o options) obs.Header {
+	hdr := obs.NewHeader(tool)
+	hdr.Protocol = proto.Name()
+	hdr.P = proto.P()
+	hdr.States = proto.States()
+	hdr.Leader = core.HasLeader(proto)
+	hdr.N = o.n
+	hdr.Init = o.init
+	hdr.Budget = o.budget
+	hdr.Seed = o.seed
+	hdr.SeedDerived = o.derived
+	return hdr
+}
+
+func seedNote(derived bool) string {
+	if derived {
+		return " (auto-derived)"
 	}
-	silent := runner.Run(budget)
-	fmt.Printf("silent: %v after %d interactions (%d fairness-forced)\n",
-		silent, runner.Steps(), runner.Forced())
-	fmt.Printf("valid naming: %v\nfinal: %s\n", cfg.ValidNaming(), cfg)
-	if audit {
-		a := fairness.AuditPairs(col.Pairs(), n, core.HasLeader(proto))
-		fmt.Printf("%s\n", a)
-	}
-	return nil
+	return ""
 }
 
 func buildConfig(proto core.Protocol, n int, initKey string, seed int64) (*core.Config, error) {

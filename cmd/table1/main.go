@@ -4,28 +4,107 @@
 // to convergence (checking the exact state count) or executes the
 // paper's impossibility construction, then prints the reproduced table.
 // The exit status is non-zero if any cell disagrees with the paper.
+//
+// Observability (see docs/observability.md): -journal records one
+// "experiment" line per verified cell, -metrics prints a per-cell
+// timing table, -progress-every k reports every k-th cell on stderr,
+// and -pprof captures CPU/heap profiles. The seed actually used is
+// always printed (and journaled), including when -seed 0 auto-derives
+// one from the clock.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"popnaming/internal/experiments"
+	"popnaming/internal/obs"
+	"popnaming/internal/report"
 )
 
 func main() {
 	var (
-		p      = flag.Int("p", 6, "population bound P for simulation checks")
-		mcp    = flag.Int("mcp", 3, "population bound for exhaustive model checks (state spaces grow exponentially)")
-		budget = flag.Int("budget", 20_000_000, "per-run interaction budget")
-		seed   = flag.Int64("seed", 1, "random seed")
+		p        = flag.Int("p", 6, "population bound P for simulation checks")
+		mcp      = flag.Int("mcp", 3, "population bound for exhaustive model checks (state spaces grow exponentially)")
+		budget   = flag.Int("budget", 20_000_000, "per-run interaction budget")
+		seedFlag = flag.Int64("seed", 1, "random seed (0: auto-derive from the clock; the seed used is printed)")
+		journal  = flag.String("journal", "", "write a JSONL run journal to this file (see docs/observability.md)")
+		metrics  = flag.Bool("metrics", false, "print a per-cell timing table after the reproduction")
+		progress = flag.Int("progress-every", 0, "report every k-th verified cell on stderr (0: off)")
+		pprofPfx = flag.String("pprof", "", "write CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
 
+	seed, derived := obs.ResolveSeed(*seedFlag)
+	if err := run(*p, *mcp, *budget, seed, derived, *journal, *metrics, *progress, *pprofPfx); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(p, mcp, budget int, seed int64, derived bool, journal string, metrics bool, progress int, pprofPfx string) (err error) {
+	if pprofPfx != "" {
+		stop, perr := obs.StartPprof(pprofPfx)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if serr := stop(); serr != nil {
+				fmt.Fprintln(os.Stderr, "table1: pprof:", serr)
+			}
+		}()
+	}
+
+	var sink *obs.JournalSink
+	if journal != "" {
+		s, closeFn, jerr := obs.OpenJournal(journal)
+		if jerr != nil {
+			return jerr
+		}
+		sink = s
+		defer func() {
+			if cerr := closeFn(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+
+	note := ""
+	if derived {
+		note = " (auto-derived)"
+	}
+	fmt.Printf("reproducing Table 1: P=%d, model-check P=%d, budget %d, seed %d%s\n\n",
+		p, mcp, budget, seed, note)
+	if sink != nil {
+		hdr := obs.NewHeader("table1")
+		hdr.P = p
+		hdr.Budget = budget
+		hdr.Seed = seed
+		hdr.SeedDerived = derived
+		if herr := sink.Emit(hdr); herr != nil {
+			return herr
+		}
+	}
+
+	start := time.Now()
 	cells := experiments.Table1(experiments.Table1Options{
-		P: *p, ModelCheckP: *mcp, Budget: *budget, Seed: *seed,
+		P: p, ModelCheckP: mcp, Budget: budget, Seed: seed,
+		OnCell: func(i int, c experiments.Cell) {
+			if sink != nil {
+				rec := obs.NewExperimentRec(
+					fmt.Sprintf("table1/%s/%s", c.Leader, c.Rules), "E1", c.OK, c.WallNS)
+				rec.Detail = c.Evidence
+				sink.Emit(rec)
+			}
+			if progress > 0 && (i+1)%progress == 0 {
+				fmt.Fprintf(os.Stderr, "table1: cell %d/9 (%s / %s) done in %v\n",
+					i+1, c.Leader, c.Rules, time.Duration(c.WallNS).Round(time.Millisecond))
+			}
+		},
 	})
+	wall := time.Since(start)
 	experiments.RenderTable1(os.Stdout, cells)
 
 	bad := 0
@@ -34,9 +113,18 @@ func main() {
 			bad++
 		}
 	}
+	if metrics {
+		fmt.Println()
+		t := report.NewTable("cell timings", "leader", "rules", "ok", "wall")
+		for _, c := range cells {
+			t.AddRowf(c.Leader, c.Rules, c.OK, time.Duration(c.WallNS).Round(time.Millisecond))
+		}
+		t.AddRowf("total", "", bad == 0, wall.Round(time.Millisecond))
+		t.Render(os.Stdout)
+	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "table1: %d cell(s) disagree with the paper\n", bad)
-		os.Exit(1)
+		return fmt.Errorf("%d cell(s) disagree with the paper", bad)
 	}
 	fmt.Printf("\nall %d cells agree with the paper\n", len(cells))
+	return err
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"popnaming/internal/core"
 	"popnaming/internal/explore"
@@ -38,6 +39,8 @@ type Cell struct {
 	Evidence string
 	// OK reports whether the check agreed with the claim.
 	OK bool
+	// WallNS is the wall-clock time spent verifying the cell.
+	WallNS int64 `json:"wallNs"`
 }
 
 // Table1Options sizes the Table 1 reproduction.
@@ -52,6 +55,10 @@ type Table1Options struct {
 	Budget int
 	// Seed drives all randomized schedules.
 	Seed int64
+	// OnCell, when non-nil, receives each completed cell in table
+	// order with WallNS filled — the progress hook the journaling
+	// CLIs use to report and time cells as they finish.
+	OnCell func(i int, c Cell)
 }
 
 func (o *Table1Options) fill() {
@@ -72,17 +79,28 @@ func (o *Table1Options) fill() {
 // impossibility construction, and reports agreement.
 func Table1(opts Table1Options) []Cell {
 	opts.fill()
-	return []Cell{
-		cellNoLeaderSymWeak(opts),
-		cellNoLeaderSymGlobal(opts),
-		cellAsymmetric(opts, "none"),
-		cellNonInitLeaderSymWeak(opts),
-		cellNonInitLeaderSymGlobal(opts),
-		cellAsymmetric(opts, "non-initialized"),
-		cellInitLeaderSymWeak(opts),
-		cellInitLeaderSymGlobal(opts),
-		cellAsymmetric(opts, "initialized"),
+	builders := []func(Table1Options) Cell{
+		cellNoLeaderSymWeak,
+		cellNoLeaderSymGlobal,
+		func(o Table1Options) Cell { return cellAsymmetric(o, "none") },
+		cellNonInitLeaderSymWeak,
+		cellNonInitLeaderSymGlobal,
+		func(o Table1Options) Cell { return cellAsymmetric(o, "non-initialized") },
+		cellInitLeaderSymWeak,
+		cellInitLeaderSymGlobal,
+		func(o Table1Options) Cell { return cellAsymmetric(o, "initialized") },
 	}
+	cells := make([]Cell, 0, len(builders))
+	for i, build := range builders {
+		start := time.Now()
+		c := build(opts)
+		c.WallNS = time.Since(start).Nanoseconds()
+		if opts.OnCell != nil {
+			opts.OnCell(i, c)
+		}
+		cells = append(cells, c)
+	}
+	return cells
 }
 
 // RenderTable1 formats cells in the layout of the paper's Table 1.

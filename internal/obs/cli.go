@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// ResolveSeed maps the -seed flag convention shared by the binaries to
+// the seed actually used: a zero flag value derives a fresh seed from
+// the clock. Binaries must print and journal the resolved seed so any
+// run — auto-derived or not — can be replayed exactly with -seed.
+func ResolveSeed(flagSeed int64) (seed int64, derived bool) {
+	if flagSeed != 0 {
+		return flagSeed, false
+	}
+	seed = time.Now().UnixNano()
+	if seed == 0 {
+		seed = 1
+	}
+	return seed, true
+}
+
+// StartPprof starts a CPU profile at prefix.cpu.pprof and returns a
+// stop function that ends it and writes a heap profile (after a GC) to
+// prefix.heap.pprof.
+func StartPprof(prefix string) (stop func() error, err error) {
+	cf, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		hf, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			return err
+		}
+		defer hf.Close()
+		runtime.GC()
+		return pprof.WriteHeapProfile(hf)
+	}, nil
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Version is the journal schema version stamped into every record.
+const Version = 1
+
+// Sink receives journal records. Emit is called with JSON-marshalable
+// record values (Header, Progress, Summary, BatchSummaryRec,
+// ExperimentRec, StageRec); implementations used from sim.RunBatch
+// workers must be safe for concurrent use.
+type Sink interface {
+	Emit(rec any) error
+}
+
+// Discard is a Sink that drops every record.
+var Discard Sink = discard{}
+
+type discard struct{}
+
+func (discard) Emit(any) error { return nil }
+
+// JournalSink writes one JSON object per line to an underlying writer.
+// It is safe for concurrent use; the first marshal or write error is
+// retained and returned by every subsequent Emit and by Err.
+type JournalSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJournalSink returns a JSONL sink over w.
+func NewJournalSink(w io.Writer) *JournalSink {
+	return &JournalSink{w: w}
+}
+
+// Emit implements Sink.
+func (s *JournalSink) Emit(rec any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the first error encountered by Emit, if any.
+func (s *JournalSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// OpenJournal creates path and returns a buffered JournalSink over it
+// plus a close function that flushes, closes the file, and reports the
+// first error from writing, flushing or closing.
+func OpenJournal(path string) (*JournalSink, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(f)
+	sink := NewJournalSink(bw)
+	closeFn := func() error {
+		err := sink.Err()
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return sink, closeFn, nil
+}
+
+// Header is the first record of every journal: the full run
+// configuration, sufficient to replay the run exactly. Absolute
+// timestamps are deliberately absent so that journals of identical runs
+// are byte-identical modulo the wall-clock fields of later records.
+type Header struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+	Tool string `json:"tool,omitempty"`
+
+	Protocol string `json:"protocol,omitempty"`
+	P        int    `json:"p,omitempty"`
+	States   int    `json:"states,omitempty"`
+	Leader   bool   `json:"leader,omitempty"`
+	N        int    `json:"n,omitempty"`
+
+	Scheduler string `json:"scheduler,omitempty"`
+	Init      string `json:"init,omitempty"`
+	Budget    int    `json:"budget,omitempty"`
+	Trials    int    `json:"trials,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+
+	// Seed is the RNG seed the run actually used; SeedDerived marks a
+	// seed auto-derived from the clock (see ResolveSeed), and
+	// Deterministic marks tools that use no randomness at all.
+	Seed          int64 `json:"seed"`
+	SeedDerived   bool  `json:"seedDerived,omitempty"`
+	Deterministic bool  `json:"deterministic,omitempty"`
+}
+
+// NewHeader returns a header record for the named tool.
+func NewHeader(tool string) Header {
+	return Header{V: Version, Type: "header", Tool: tool}
+}
+
+// Progress is a periodic snapshot of a running execution. ElapsedNS is
+// the only wall-clock field.
+type Progress struct {
+	V     int    `json:"v"`
+	Type  string `json:"type"`
+	Trial int    `json:"trial"`
+
+	Step    uint64 `json:"step"`
+	NonNull uint64 `json:"nonNull"`
+	// Quiet is the current streak of consecutive null interactions.
+	Quiet int64 `json:"quiet"`
+	// PairsSeen / PairsTotal measure scheduler pair coverage;
+	// FairnessGap is the largest number of steps any schedulable pair
+	// has gone without interacting (-1 when pair tracking is disabled
+	// for very large populations).
+	PairsSeen   int   `json:"pairsSeen"`
+	PairsTotal  int   `json:"pairsTotal"`
+	FairnessGap int64 `json:"fairnessGap"`
+
+	ElapsedNS int64 `json:"elapsedNs"`
+}
+
+// Summary is the final record of one execution. ElapsedNS is the only
+// wall-clock field.
+type Summary struct {
+	V     int    `json:"v"`
+	Type  string `json:"type"`
+	Trial int    `json:"trial"`
+
+	Converged    bool    `json:"converged"`
+	Steps        uint64  `json:"steps"`
+	NonNull      uint64  `json:"nonNull"`
+	ParallelTime float64 `json:"parallelTime"`
+
+	MaxQuiet     int64        `json:"maxQuiet"`
+	QuietStreaks []HistBucket `json:"quietStreaks,omitempty"`
+
+	PairsSeen   int   `json:"pairsSeen"`
+	PairsTotal  int   `json:"pairsTotal"`
+	FairnessGap int64 `json:"fairnessGap"`
+
+	// Rules lists non-null rule firings, most frequent first (ties
+	// broken by rule text, so the order is deterministic).
+	Rules []RuleCount `json:"rules,omitempty"`
+
+	ElapsedNS int64 `json:"elapsedNs"`
+}
+
+// BatchSummaryRec merges a whole batch run: convergence counts, a
+// log-scale histogram of steps-to-convergence across trials, and
+// worker wall-clock/utilization figures (the wall-clock fields are
+// WallNS and Utilization).
+type BatchSummaryRec struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+
+	Trials       int          `json:"trials"`
+	Converged    int          `json:"converged"`
+	TotalSteps   int64        `json:"totalSteps"`
+	TotalNonNull int64        `json:"totalNonNull"`
+	StepsHist    []HistBucket `json:"stepsToConverge,omitempty"`
+
+	Workers     int     `json:"workers"`
+	WallNS      int64   `json:"wallNs"`
+	Utilization float64 `json:"utilization"`
+}
+
+// ExperimentRec times one tagged experiment of the reproduction suite
+// (WallNS is the wall-clock field).
+type ExperimentRec struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+
+	Key    string `json:"key"`
+	Tag    string `json:"tag,omitempty"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+	WallNS int64  `json:"wallNs"`
+}
+
+// NewExperimentRec returns a timed experiment record.
+func NewExperimentRec(key, tag string, ok bool, wallNS int64) ExperimentRec {
+	return ExperimentRec{V: Version, Type: "experiment", Key: key, Tag: tag, OK: ok, WallNS: wallNS}
+}
+
+// StageRec times one internal stage of a tool run, e.g. the model
+// checker's graph construction (WallNS is the wall-clock field).
+type StageRec struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+	WallNS int64  `json:"wallNs"`
+}
+
+// NewStageRec returns a timed stage record.
+func NewStageRec(name, detail string, wallNS int64) StageRec {
+	return StageRec{V: Version, Type: "stage", Name: name, Detail: detail, WallNS: wallNS}
+}

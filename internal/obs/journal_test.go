@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestJournalSinkRecords(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJournalSink(&buf)
+	h := NewHeader("test")
+	h.Protocol = "asym"
+	h.Seed = 7
+	if err := s.Emit(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Emit(NewExperimentRec("sweep", "E12", true, 123)); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var hdr map[string]any
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		t.Fatalf("header not JSON: %v", err)
+	}
+	if hdr["v"] != float64(Version) || hdr["type"] != "header" || hdr["protocol"] != "asym" || hdr["seed"] != float64(7) {
+		t.Fatalf("header = %v", hdr)
+	}
+}
+
+// TestJournalSinkConcurrent exercises the mutex path under the race
+// detector: many goroutines share one sink, and every line must still
+// be a complete JSON object.
+func TestJournalSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJournalSink(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Emit(NewStageRec("stage", "", int64(g*100+i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, l := range lines {
+		var rec StageRec
+		if err := json.Unmarshal(l, &rec); err != nil {
+			t.Fatalf("corrupt line %q: %v", l, err)
+		}
+	}
+}
+
+func TestJournalSinkRetainsError(t *testing.T) {
+	s := NewJournalSink(failWriter{})
+	if err := s.Emit(NewHeader("x")); err == nil {
+		t.Fatal("expected write error")
+	}
+	if s.Err() == nil {
+		t.Fatal("Err not retained")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestOpenJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	sink, closeFn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Emit(NewHeader("test")); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr Header
+	if err := json.Unmarshal(bytes.TrimSpace(b), &hdr); err != nil {
+		t.Fatalf("journal content %q: %v", b, err)
+	}
+	if hdr.Tool != "test" {
+		t.Fatalf("tool = %q", hdr.Tool)
+	}
+}

@@ -1,0 +1,131 @@
+// Package obs is the observability layer of the simulation engine:
+// typed counters, gauges and log-scale histograms; a Sink abstraction
+// with a JSONL run-journal writer (one versioned JSON object per line,
+// replayable and diffable across runs); and a per-run Observer that the
+// engine feeds with every interaction to produce per-rule fire counts,
+// quiet-streak statistics, scheduler pair-coverage/fairness-gap gauges,
+// periodic progress snapshots and a final summary record.
+//
+// The layer is stdlib-only and is designed around a guaranteed fast
+// path: a sim.Runner whose Obs field is nil pays exactly one nil check
+// per interaction and allocates nothing (see BenchmarkRunnerObsOverhead
+// in internal/sim). The journal schema is documented in
+// docs/observability.md.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+
+	"popnaming/internal/core"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter uint64
+
+// Inc adds one.
+func (c *Counter) Inc() { *c++ }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { *c += Counter(d) }
+
+// Value returns the current count.
+func (c Counter) Value() uint64 { return uint64(c) }
+
+// Gauge is a point-in-time measurement.
+type Gauge float64
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { *g = Gauge(v) }
+
+// Value returns the current value.
+func (g Gauge) Value() float64 { return float64(g) }
+
+// Histogram counts int64 observations in log2-scale buckets: bucket 0
+// holds values <= 0 and bucket k >= 1 holds values in [2^(k-1), 2^k).
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [65]uint64
+	count   uint64
+	sum     float64
+	max     int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// HistBucket is one non-empty histogram bucket covering [Lo, Hi].
+type HistBucket struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending value order.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for k, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		b := HistBucket{Count: c}
+		if k == 0 {
+			b.Lo, b.Hi = 0, 0
+		} else {
+			b.Lo = 1 << (k - 1)
+			b.Hi = 1<<k - 1
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// RuleKey identifies one concrete transition-rule firing. For
+// mobile-mobile interactions it is the full rule (x,y) -> (x',y');
+// leader-mobile interactions are keyed by the mobile peer's transition
+// only (the leader state space is unbounded), with Leader set and Y/Y2
+// unused.
+type RuleKey struct {
+	Leader bool
+	X, Y   core.State
+	X2, Y2 core.State
+}
+
+func (k RuleKey) String() string {
+	if k.Leader {
+		return fmt.Sprintf("(L,%d)->(L,%d)", k.X, k.X2)
+	}
+	return fmt.Sprintf("(%d,%d)->(%d,%d)", k.X, k.Y, k.X2, k.Y2)
+}
+
+// RuleCount pairs a rendered rule with its fire count, for summary
+// records and exposition tables.
+type RuleCount struct {
+	Rule  string `json:"rule"`
+	Count uint64 `json:"count"`
+}

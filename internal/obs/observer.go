@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"popnaming/internal/core"
+	"popnaming/internal/report"
+)
+
+// maxTrackedPairs caps the dense per-pair last-seen table; beyond it
+// (about 2k agents) pair coverage and fairness-gap gauges are disabled
+// rather than spending O(n^2) memory per run.
+const maxTrackedPairs = 1 << 22
+
+// ObserverOptions configures an Observer.
+type ObserverOptions struct {
+	// Sink, when non-nil, receives progress snapshots and the final
+	// summary record.
+	Sink Sink
+	// ProgressEvery emits a progress record every k interactions
+	// (0: only the final snapshot emitted by Finish).
+	ProgressEvery int
+	// Trial tags every emitted record with a batch trial index
+	// (0 for single runs).
+	Trial int
+}
+
+// Observer accumulates the metrics of one execution: interaction and
+// non-null counters, per-rule fire counts, quiet-streak statistics, and
+// scheduler pair-coverage/fairness gauges. It is fed by sim.Runner
+// through its Obs field (or by any driver via ObservePair) and is not
+// safe for concurrent use; batch runs give each trial its own Observer
+// sharing one concurrency-safe Sink.
+type Observer struct {
+	sink          Sink
+	progressEvery uint64
+	trial         int
+	n             int
+	lo, m         int
+	start         time.Time
+	finished      bool
+
+	steps   Counter
+	nonNull Counter
+	quiet   int64
+	rules   map[RuleKey]uint64
+
+	quietHist Histogram
+
+	pairTrack bool
+	lastSeen  []int64
+	pairsSeen int
+}
+
+// NewObserver returns an observer for a population of n mobile agents
+// (plus a leader when withLeader is set).
+func NewObserver(n int, withLeader bool, opts ObserverOptions) *Observer {
+	lo := 0
+	if withLeader {
+		lo = -1
+	}
+	m := n - lo
+	o := &Observer{
+		sink:  opts.Sink,
+		trial: opts.Trial,
+		n:     n,
+		lo:    lo,
+		m:     m,
+		start: time.Now(),
+		rules: make(map[RuleKey]uint64),
+	}
+	if opts.ProgressEvery > 0 {
+		o.progressEvery = uint64(opts.ProgressEvery)
+	}
+	if m*m <= maxTrackedPairs {
+		o.pairTrack = true
+		o.lastSeen = make([]int64, m*m)
+		for i := range o.lastSeen {
+			o.lastSeen[i] = -1
+		}
+	}
+	return o
+}
+
+// Steps returns the number of observed interactions.
+func (o *Observer) Steps() uint64 { return o.steps.Value() }
+
+// NonNull returns the number of observed state-changing interactions.
+func (o *Observer) NonNull() uint64 { return o.nonNull.Value() }
+
+// QuietStreaks returns the histogram of completed all-null streak
+// lengths (Finish flushes the trailing streak).
+func (o *Observer) QuietStreaks() *Histogram { return &o.quietHist }
+
+// ObserveMobile records a mobile-mobile interaction with its before and
+// after states.
+func (o *Observer) ObserveMobile(p core.Pair, x, y, x2, y2 core.State, changed bool) {
+	if changed {
+		o.rules[RuleKey{X: x, Y: y, X2: x2, Y2: y2}]++
+	}
+	o.ObservePair(p, changed)
+}
+
+// ObserveLeader records a leader-mobile interaction; x and x2 are the
+// mobile peer's before and after states.
+func (o *Observer) ObserveLeader(p core.Pair, x, x2 core.State, changed bool) {
+	if changed {
+		o.rules[RuleKey{Leader: true, X: x, X2: x2}]++
+	}
+	o.ObservePair(p, changed)
+}
+
+// ObservePair records an interaction without state attribution (no
+// per-rule accounting), for drivers that only expose pair events, such
+// as the adversarial runner's OnStep hook.
+func (o *Observer) ObservePair(p core.Pair, changed bool) {
+	step := int64(o.steps.Value())
+	o.steps.Inc()
+	if o.pairTrack {
+		idx := (p.A-o.lo)*o.m + (p.B - o.lo)
+		if idx >= 0 && idx < len(o.lastSeen) {
+			if o.lastSeen[idx] < 0 {
+				o.pairsSeen++
+			}
+			o.lastSeen[idx] = step
+		}
+	}
+	if changed {
+		o.nonNull.Inc()
+		if o.quiet > 0 {
+			o.quietHist.Observe(o.quiet)
+			o.quiet = 0
+		}
+	} else {
+		o.quiet++
+	}
+	if o.progressEvery > 0 && o.sink != nil && o.steps.Value()%o.progressEvery == 0 {
+		_ = o.sink.Emit(o.snapshot())
+	}
+}
+
+// pairsTotal returns the number of schedulable ordered pairs (0 when
+// pair tracking is disabled).
+func (o *Observer) pairsTotal() int {
+	if !o.pairTrack {
+		return 0
+	}
+	return o.m * (o.m - 1)
+}
+
+// FairnessGap returns the largest number of steps any schedulable pair
+// has gone without interacting (never-seen pairs count from step 0), or
+// -1 when pair tracking is disabled.
+func (o *Observer) FairnessGap() int64 {
+	if !o.pairTrack {
+		return -1
+	}
+	steps := int64(o.steps.Value())
+	var max int64
+	for a := 0; a < o.m; a++ {
+		row := o.lastSeen[a*o.m : (a+1)*o.m]
+		for b, last := range row {
+			if a == b {
+				continue
+			}
+			if g := steps - last; g > max {
+				max = g
+			}
+		}
+	}
+	// A never-seen pair has last = -1, giving steps+1; clamp to the
+	// run length.
+	if max > steps {
+		max = steps
+	}
+	return max
+}
+
+// PairCoverage returns distinct schedulable pairs seen and the total
+// (both 0 when pair tracking is disabled).
+func (o *Observer) PairCoverage() (seen, total int) {
+	return o.pairsSeen, o.pairsTotal()
+}
+
+func (o *Observer) snapshot() Progress {
+	return Progress{
+		V:           Version,
+		Type:        "progress",
+		Trial:       o.trial,
+		Step:        o.steps.Value(),
+		NonNull:     o.nonNull.Value(),
+		Quiet:       o.quiet,
+		PairsSeen:   o.pairsSeen,
+		PairsTotal:  o.pairsTotal(),
+		FairnessGap: o.FairnessGap(),
+		ElapsedNS:   time.Since(o.start).Nanoseconds(),
+	}
+}
+
+// RuleCounts returns the non-null rule firings, most frequent first
+// with ties broken by rule text (deterministic for fixed seeds).
+func (o *Observer) RuleCounts() []RuleCount {
+	out := make([]RuleCount, 0, len(o.rules))
+	for k, c := range o.rules {
+		out = append(out, RuleCount{Rule: k.String(), Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// Finish closes the run: it folds the trailing quiet streak into the
+// streak histogram and, when a sink is attached, emits a final progress
+// snapshot followed by the summary record. It is idempotent; sim.Runner
+// calls it automatically at the end of Run.
+func (o *Observer) Finish(converged bool) {
+	if o.finished {
+		return
+	}
+	o.finished = true
+	if o.sink != nil {
+		_ = o.sink.Emit(o.snapshot())
+	}
+	if o.quiet > 0 {
+		o.quietHist.Observe(o.quiet)
+	}
+	if o.sink != nil {
+		_ = o.sink.Emit(o.summary(converged))
+	}
+}
+
+func (o *Observer) summary(converged bool) Summary {
+	par := 0.0
+	if o.n > 0 {
+		par = float64(o.steps.Value()) / float64(o.n)
+	}
+	return Summary{
+		V:            Version,
+		Type:         "summary",
+		Trial:        o.trial,
+		Converged:    converged,
+		Steps:        o.steps.Value(),
+		NonNull:      o.nonNull.Value(),
+		ParallelTime: par,
+		MaxQuiet:     o.quietHist.Max(),
+		QuietStreaks: o.quietHist.Buckets(),
+		PairsSeen:    o.pairsSeen,
+		PairsTotal:   o.pairsTotal(),
+		FairnessGap:  o.FairnessGap(),
+		Rules:        o.RuleCounts(),
+		ElapsedNS:    time.Since(o.start).Nanoseconds(),
+	}
+}
+
+// KV is one named metric value of the flat (expvar-style) exposition.
+type KV struct {
+	Name, Value string
+}
+
+// Vars returns the scalar metrics as ordered name/value pairs.
+func (o *Observer) Vars() []KV {
+	steps := o.steps.Value()
+	nonNull := o.nonNull.Value()
+	nullFrac := 0.0
+	if steps > 0 {
+		nullFrac = 1 - float64(nonNull)/float64(steps)
+	}
+	elapsed := time.Since(o.start)
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(steps) / s
+	}
+	seen, total := o.PairCoverage()
+	coverage := "n/a"
+	if total > 0 {
+		coverage = fmt.Sprintf("%.1f%%", 100*float64(seen)/float64(total))
+	}
+	return []KV{
+		{"interactions", fmt.Sprintf("%d", steps)},
+		{"nonNull", fmt.Sprintf("%d", nonNull)},
+		{"nullFraction", fmt.Sprintf("%.4f", nullFrac)},
+		{"distinctRules", fmt.Sprintf("%d", len(o.rules))},
+		{"quietStreaks", fmt.Sprintf("%d", o.quietHist.Count())},
+		{"quietStreakMean", fmt.Sprintf("%.1f", o.quietHist.Mean())},
+		{"quietStreakMax", fmt.Sprintf("%d", o.quietHist.Max())},
+		{"pairsSeen", fmt.Sprintf("%d/%d", seen, total)},
+		{"pairCoverage", coverage},
+		{"fairnessGap", fmt.Sprintf("%d", o.FairnessGap())},
+		{"elapsed", elapsed.Round(time.Microsecond).String()},
+		{"interactionsPerSec", fmt.Sprintf("%.0f", rate)},
+	}
+}
+
+// MetricsTable renders the scalar metrics as an aligned table.
+func (o *Observer) MetricsTable() *report.Table {
+	t := report.NewTable("run metrics", "metric", "value")
+	for _, kv := range o.Vars() {
+		t.AddRow(kv.Name, kv.Value)
+	}
+	return t
+}
+
+// RulesTable renders the most frequent rule firings (all of them when
+// limit <= 0).
+func (o *Observer) RulesTable(limit int) *report.Table {
+	t := report.NewTable("rule firings (non-null)", "rule", "fires", "share")
+	counts := o.RuleCounts()
+	if limit > 0 && len(counts) > limit {
+		counts = counts[:limit]
+	}
+	for _, rc := range counts {
+		share := 0.0
+		if nn := o.nonNull.Value(); nn > 0 {
+			share = 100 * float64(rc.Count) / float64(nn)
+		}
+		t.AddRow(rc.Rule, fmt.Sprintf("%d", rc.Count), fmt.Sprintf("%.1f%%", share))
+	}
+	return t
+}
+
+// Dump writes the text exposition: the metrics table followed by the
+// top rule firings.
+func (o *Observer) Dump(w io.Writer) {
+	o.MetricsTable().Render(w)
+	fmt.Fprintln(w)
+	o.RulesTable(16).Render(w)
+}

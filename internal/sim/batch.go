@@ -3,8 +3,10 @@ package sim
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"popnaming/internal/core"
+	"popnaming/internal/obs"
 	"popnaming/internal/sched"
 )
 
@@ -23,25 +25,89 @@ type BatchResult struct {
 	Result Result
 }
 
+// BatchObs configures observability for a batch run.
+type BatchObs struct {
+	// Sink, when non-nil, receives trial-tagged progress and summary
+	// records from every trial plus the merged batch-summary record.
+	// It is shared across workers and must be safe for concurrent use
+	// (obs.JournalSink is); record order across trials follows worker
+	// scheduling and is not deterministic.
+	Sink obs.Sink
+	// ProgressEvery is the per-trial progress snapshot period in
+	// interactions (0: only final snapshots).
+	ProgressEvery int
+}
+
+// BatchSummary aggregates one batch run.
+type BatchSummary struct {
+	// Results holds the per-trial outcomes, indexed by trial.
+	Results []BatchResult
+	// Trials and Converged count the runs and how many reached
+	// silence within budget.
+	Trials    int
+	Converged int
+	// TotalSteps and TotalNonNull sum the interaction counts of all
+	// trials.
+	TotalSteps   int64
+	TotalNonNull int64
+	// StepsToConverge is the log-scale histogram of steps-to-silence
+	// over the converged trials.
+	StepsToConverge obs.Histogram
+	// Workers, WallNS and Utilization describe the worker pool:
+	// utilization is the summed busy time of all workers divided by
+	// workers x wall clock (1.0 = no idle time).
+	Workers     int
+	WallNS      int64
+	Utilization float64
+}
+
+// Record converts the summary to its journal record.
+func (s *BatchSummary) Record() obs.BatchSummaryRec {
+	return obs.BatchSummaryRec{
+		V:            obs.Version,
+		Type:         "batch_summary",
+		Trials:       s.Trials,
+		Converged:    s.Converged,
+		TotalSteps:   s.TotalSteps,
+		TotalNonNull: s.TotalNonNull,
+		StepsHist:    s.StepsToConverge.Buckets(),
+		Workers:      s.Workers,
+		WallNS:       s.WallNS,
+		Utilization:  s.Utilization,
+	}
+}
+
 // RunBatch executes independent trials concurrently on up to `workers`
 // goroutines (0 selects GOMAXPROCS) and returns the results indexed by
 // trial. mkTrial is called exactly once per trial index, from the worker
 // goroutine that runs it; the configurations and schedulers it returns
 // must not be shared across trials.
 func RunBatch(pr core.Protocol, trials, budget, workers int, mkTrial func(trial int) Trial) []BatchResult {
+	return RunBatchObserved(pr, trials, budget, workers, BatchObs{}, mkTrial).Results
+}
+
+// RunBatchObserved is RunBatch with observability: each trial gets its
+// own obs.Observer journaling to the shared sink (when one is set), and
+// the merged batch summary — wall clock, worker utilization and the
+// convergence-step histogram — is returned and journaled. With a zero
+// BatchObs it degrades to exactly RunBatch's unobserved fast path.
+func RunBatchObserved(pr core.Protocol, trials, budget, workers int, bo BatchObs, mkTrial func(trial int) Trial) BatchSummary {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > trials {
 		workers = trials
 	}
+	withLeader := core.HasLeader(pr)
 	out := make([]BatchResult, trials)
+	busy := make([]int64, workers)
+	start := time.Now()
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				mu.Lock()
@@ -51,12 +117,47 @@ func RunBatch(pr core.Protocol, trials, budget, workers int, mkTrial func(trial 
 				if i >= trials {
 					return
 				}
+				t0 := time.Now()
 				t := mkTrial(i)
-				res := NewRunner(pr, t.Sched, t.Cfg).Run(budget)
+				run := NewRunner(pr, t.Sched, t.Cfg)
+				if bo.Sink != nil {
+					run.Obs = obs.NewObserver(t.Cfg.N(), withLeader, obs.ObserverOptions{
+						Sink:          bo.Sink,
+						ProgressEvery: bo.ProgressEvery,
+						Trial:         i,
+					})
+				}
+				res := run.Run(budget)
 				out[i] = BatchResult{Trial: i, Result: res}
+				busy[w] += time.Since(t0).Nanoseconds()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return out
+
+	sum := BatchSummary{
+		Results: out,
+		Trials:  trials,
+		Workers: workers,
+		WallNS:  time.Since(start).Nanoseconds(),
+	}
+	for _, br := range out {
+		sum.TotalSteps += int64(br.Result.Steps)
+		sum.TotalNonNull += int64(br.Result.NonNull)
+		if br.Result.Converged {
+			sum.Converged++
+			sum.StepsToConverge.Observe(int64(br.Result.Steps))
+		}
+	}
+	var totalBusy int64
+	for _, b := range busy {
+		totalBusy += b
+	}
+	if sum.WallNS > 0 && workers > 0 {
+		sum.Utilization = float64(totalBusy) / (float64(sum.WallNS) * float64(workers))
+	}
+	if bo.Sink != nil {
+		_ = bo.Sink.Emit(sum.Record())
+	}
+	return sum
 }

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"popnaming/internal/core"
+	"popnaming/internal/naming"
+	"popnaming/internal/obs"
+	"popnaming/internal/sched"
+)
+
+// BenchmarkRunnerObsOverhead measures the cost of the observability
+// hook on the engine's hot path. "disabled" is the production fast path
+// (Obs == nil): it must report 0 allocs/op and stay within 5% of the
+// seed Runner.Run throughput (compare BenchmarkStepThroughput at the
+// repo root). "observer" attaches a metrics-only observer and
+// "observer+journal" additionally journals to a discarding sink,
+// quantifying the price of full observability.
+func BenchmarkRunnerObsOverhead(b *testing.B) {
+	const n = 64
+	pr := naming.NewAsymmetric(n)
+	mk := func() *Runner {
+		return NewRunner(pr, sched.NewRandom(n, false, 1), core.NewConfig(n, 0))
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run.Step()
+		}
+	})
+	b.Run("observer", func(b *testing.B) {
+		run := mk()
+		run.Obs = obs.NewObserver(n, false, obs.ObserverOptions{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run.Step()
+		}
+	})
+	b.Run("observer+journal", func(b *testing.B) {
+		run := mk()
+		run.Obs = obs.NewObserver(n, false, obs.ObserverOptions{Sink: obs.Discard, ProgressEvery: 4096})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run.Step()
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"popnaming/internal/core"
+	"popnaming/internal/obs"
 	"popnaming/internal/sched"
 	"popnaming/internal/trace"
 )
@@ -20,9 +21,11 @@ type Result struct {
 	// Converged reports whether a silent configuration was reached
 	// within the step budget.
 	Converged bool
-	// Steps is the number of interactions executed, including the null
-	// ones. When Converged, the count excludes the quiet tail consumed
-	// by silence detection only in the sense reported by QuietTail.
+	// Steps is the total number of interactions executed, null ones
+	// included. The runner checks for silence only after a full window
+	// of consecutive null interactions (see Runner.QuietThreshold), so
+	// on a converged result Steps includes that trailing quiet tail of
+	// up to one window beyond the last state-changing interaction.
 	Steps int
 	// NonNull is the number of state-changing interactions.
 	NonNull int
@@ -65,6 +68,13 @@ type Runner struct {
 	// recording and fairness audits).
 	OnStep func(trace.Event)
 
+	// Obs, when non-nil, receives every interaction together with the
+	// before/after states (per-rule accounting), periodic progress
+	// snapshots, and the final summary at the end of Run. When nil the
+	// runner takes a fast path that adds one branch and no allocations
+	// per step (see BenchmarkRunnerObsOverhead).
+	Obs *obs.Observer
+
 	steps   int
 	nonNull int
 	quiet   int
@@ -88,7 +98,12 @@ func (r *Runner) NonNull() int { return r.nonNull }
 // Step executes one interaction and reports whether it was non-null.
 func (r *Runner) Step() bool {
 	pair := r.Sched.Next()
-	changed := core.ApplyPair(r.Proto, r.Cfg, pair)
+	var changed bool
+	if r.Obs == nil {
+		changed = core.ApplyPair(r.Proto, r.Cfg, pair)
+	} else {
+		changed = r.observedApply(pair)
+	}
 	if r.OnStep != nil {
 		r.OnStep(trace.Event{Step: r.steps, Pair: pair, NonNull: changed})
 	}
@@ -99,6 +114,26 @@ func (r *Runner) Step() bool {
 	} else {
 		r.quiet++
 	}
+	return changed
+}
+
+// observedApply applies the pair like core.ApplyPair while feeding the
+// observer the before/after states for per-rule accounting.
+func (r *Runner) observedApply(pair core.Pair) bool {
+	if pair.HasLeader() {
+		lp, ok := r.Proto.(core.LeaderProtocol)
+		if !ok {
+			panic(fmt.Sprintf("core: protocol %q has no leader but pair %v involves one", r.Proto.Name(), pair))
+		}
+		j := pair.MobilePeer()
+		x := r.Cfg.Mobile[j]
+		changed := core.ApplyLeader(lp, r.Cfg, j)
+		r.Obs.ObserveLeader(pair, x, r.Cfg.Mobile[j], changed)
+		return changed
+	}
+	x, y := r.Cfg.Mobile[pair.A], r.Cfg.Mobile[pair.B]
+	changed := core.ApplyMobile(r.Proto, r.Cfg, pair.A, pair.B)
+	r.Obs.ObserveMobile(pair, x, y, r.Cfg.Mobile[pair.A], r.Cfg.Mobile[pair.B], changed)
 	return changed
 }
 
@@ -118,8 +153,18 @@ func (r *Runner) quietThreshold() int {
 // maxSteps interactions have been executed, and returns the result.
 // Silence is checked initially and then whenever the execution has been
 // quiet (all-null) for a full QuietThreshold window, so the reported
-// Steps may include a quiet tail of up to one window.
+// Steps may include a quiet tail of up to one window. When Obs is set,
+// Run finishes it (emitting the final progress snapshot and summary
+// record) before returning.
 func (r *Runner) Run(maxSteps int) Result {
+	res := r.run(maxSteps)
+	if r.Obs != nil {
+		r.Obs.Finish(res.Converged)
+	}
+	return res
+}
+
+func (r *Runner) run(maxSteps int) Result {
 	if core.Silent(r.Proto, r.Cfg) {
 		return Result{Converged: true, Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
 	}

@@ -121,3 +121,21 @@ func (r *Ring) Events() []Event {
 	out = append(out, r.buf[:r.next]...)
 	return out
 }
+
+// Tail formats the last k retained events, one per line, mirroring
+// Collector.Tail so failure reports work with ring traces too.
+func (r *Ring) Tail(k int) string {
+	ev := r.Events()
+	if k < 0 {
+		k = 0
+	}
+	if k < len(ev) {
+		ev = ev[len(ev)-k:]
+	}
+	var b strings.Builder
+	for _, e := range ev {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
