@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race fmt bench
+# Engine microbenchmarks gating the compiled-engine performance claims
+# (see DESIGN.md "Performance" and EXPERIMENTS.md).
+ENGINE_BENCH = BenchmarkStepThroughput|BenchmarkSilenceCheck|BenchmarkRunConverge|BenchmarkBatchThroughput|BenchmarkConfigKey|BenchmarkConfigAppendKey|BenchmarkConfigMultisetKey|BenchmarkConfigAppendMultisetKey|BenchmarkCorrupt
+
+.PHONY: check vet build test race fmt fuzzbuild bench bench-engine
 
 # check is the single entry point: everything CI (or a reviewer) needs.
-check: vet build race fmt
+check: vet build race fmt fuzzbuild
 
 vet:
 	$(GO) vet ./...
@@ -22,5 +26,17 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# fuzzbuild compiles every fuzz target and runs each on its seed corpus
+# only (no fuzzing time), so a broken target fails check.
+fuzzbuild:
+	$(GO) test -run='^Fuzz' -count=1 ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-engine runs the engine microbenchmarks three times each and
+# writes the machine-readable go-test JSON stream to BENCH_PR2.json
+# (one line per event; benchmark results are in Output fields).
+bench-engine:
+	$(GO) test -json -run='^$$' -bench='$(ENGINE_BENCH)' -benchmem -count=3 ./... > BENCH_PR2.json
+	@echo "wrote BENCH_PR2.json ($$(wc -l < BENCH_PR2.json) events)"

@@ -258,20 +258,87 @@ func BenchmarkE14UStarAblation(b *testing.B) {
 // --- Engine microbenchmarks -------------------------------------------
 
 // BenchmarkStepThroughput measures raw interactions per second of the
-// simulation engine (Protocol 2, N = 64).
+// simulation engine (Protocol 2, N = 64) through the default compiled
+// path: batched scheduler draw, transition-table lookup, census update.
 func BenchmarkStepThroughput(b *testing.B) {
 	const n = 64
 	pr := naming.NewSelfStab(n)
 	cfg := sim.ArbitraryConfig(pr, n, rand.New(rand.NewSource(1)))
 	run := sim.NewRunner(pr, sched.NewRandom(n, true, 1), cfg)
+	if !run.Compiled() {
+		b.Fatal("compiled engine unavailable")
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run.Step()
 	}
 }
 
-// BenchmarkSilenceCheck measures the O(n^2) terminal-configuration test.
+// BenchmarkStepThroughputInterp is BenchmarkStepThroughput forced onto
+// the interface-dispatch path, preserving the pre-compilation baseline
+// for before/after comparison.
+func BenchmarkStepThroughputInterp(b *testing.B) {
+	const n = 64
+	pr := naming.NewSelfStab(n)
+	cfg := sim.ArbitraryConfig(pr, n, rand.New(rand.NewSource(1)))
+	run := sim.NewRunner(pr, sched.NewRandom(n, true, 1), cfg)
+	run.Interpret = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run.Step()
+	}
+}
+
+// BenchmarkRunConverge measures one full convergence through the fused
+// Run loop and reports interactions/op. It uses Prop 12 (asymmetric
+// naming, polynomial convergence) at N = 32 — the BST-based protocols
+// converge in time exponential in N and are benchmarked at small N by
+// the experiment benchmarks instead.
+func BenchmarkRunConverge(b *testing.B) {
+	const n = 32
+	pr := naming.NewAsymmetric(n)
+	totalSteps := 0
+	for i := 0; i < b.N; i++ {
+		cfg := sim.ArbitraryConfig(pr, n, rand.New(rand.NewSource(int64(i))))
+		res := sim.NewRunner(pr, sched.NewRandom(n, false, int64(i)), cfg).Run(200_000_000)
+		if !res.Converged {
+			b.Fatalf("did not converge: %s", res)
+		}
+		totalSteps += res.Steps
+	}
+	b.ReportMetric(float64(totalSteps)/float64(b.N), "interactions/op")
+}
+
+// BenchmarkSilenceCheck measures the terminal-configuration test as the
+// runner performs it: the census/activePairs counter check of the
+// compiled engine (O(1) on the mobile side) on an already-named
+// population. BenchmarkSilenceCheckInterp keeps the O(n²) interface
+// scan it replaced.
 func BenchmarkSilenceCheck(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			pr := naming.NewAsymmetric(n)
+			cfg := core.NewConfig(n, 0)
+			for i := range cfg.Mobile {
+				cfg.Mobile[i] = core.State(i)
+			}
+			run := sim.NewRunner(pr, sched.NewRandom(n, false, 1), cfg)
+			if !run.Compiled() {
+				b.Fatal("compiled engine unavailable")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !run.Silent() {
+					b.Fatal("should be silent")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSilenceCheckInterp measures the O(n²) interface-dispatch
+// terminal-configuration scan (the pre-census baseline).
+func BenchmarkSilenceCheckInterp(b *testing.B) {
 	for _, n := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
 			pr := naming.NewAsymmetric(n)

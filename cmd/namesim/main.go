@@ -8,6 +8,7 @@
 //	namesim -protocol selfstab -p 6 -n 6 -sched random -init arbitrary -audit
 //	namesim -protocol symglobal -p 5 -n 4 -sched matching -budget 100000
 //	namesim -protocol asym -journal out.jsonl -metrics -progress-every 100000
+//	namesim -protocol asym -engine interp -seed 7   # force interface dispatch
 //
 // Protocols: asym, symglobal, initleader, selfstab, globalp, counting,
 // naive (see -list).
@@ -42,6 +43,7 @@ type options struct {
 	p, n     int
 	sched    string
 	init     string
+	engine   string
 	seed     int64
 	derived  bool
 	budget   int
@@ -62,6 +64,7 @@ func main() {
 		n        = flag.Int("n", 0, "population size N (default P)")
 		schedKey = flag.String("sched", "random", "scheduler: random | roundrobin | matching | eclipse")
 		initKey  = flag.String("init", "zero", "initialization: zero | uniform | arbitrary")
+		engine   = flag.String("engine", "compiled", "execution engine: compiled | interp")
 		seed     = flag.Int64("seed", 1, "random seed (0: auto-derive from the clock; the seed used is printed)")
 		budget   = flag.Int("budget", 50_000_000, "max interactions")
 		audit    = flag.Bool("audit", false, "audit the played schedule for weak fairness")
@@ -84,7 +87,7 @@ func main() {
 		return
 	}
 	o := options{
-		proto: *protoKey, p: *p, n: *n, sched: *schedKey, init: *initKey,
+		proto: *protoKey, p: *p, n: *n, sched: *schedKey, init: *initKey, engine: *engine,
 		budget: *budget, audit: *audit, adv: *adv, hidden: *hidden, hide: *hide,
 		journal: *journal, metrics: *metrics, progress: *progress, pprof: *pprofPfx,
 	}
@@ -162,6 +165,14 @@ func run(o options) (err error) {
 	}
 
 	runner := sim.NewRunner(proto, s, cfg)
+	switch o.engine {
+	case "compiled":
+		// default: the runner compiles transparently when it can
+	case "interp":
+		runner.Interpret = true
+	default:
+		return fmt.Errorf("unknown engine %q (compiled | interp)", o.engine)
+	}
 	var observer *obs.Observer
 	if sink != nil || o.metrics {
 		observer = obs.NewObserver(o.n, core.HasLeader(proto), obs.ObserverOptions{
@@ -174,6 +185,11 @@ func run(o options) (err error) {
 	if o.audit {
 		runner.OnStep = col.Record
 	}
+	engine := "interpreted"
+	if runner.Compiled() {
+		engine = "compiled"
+	}
+	fmt.Printf("engine: %s\n", engine)
 	res := runner.Run(o.budget)
 	fmt.Printf("result: %s\n", res)
 	fmt.Printf("valid naming: %v\n", cfg.ValidNaming())

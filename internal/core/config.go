@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -77,40 +78,92 @@ func (c *Config) Equal(o *Config) bool {
 // Key returns a canonical identity-preserving encoding of the
 // configuration, suitable as a map key during model checking.
 func (c *Config) Key() string {
-	var b strings.Builder
+	return string(c.AppendKey(make([]byte, 0, c.keyCap())))
+}
+
+// AppendKey appends Key's encoding to buf and returns the extended
+// slice. The model checker's dedup loop uses it with a reused scratch
+// buffer so each interned configuration costs a single allocation (the
+// map-key string itself).
+func (c *Config) AppendKey(buf []byte) []byte {
 	for i, s := range c.Mobile {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(&b, "%d", s)
+		buf = strconv.AppendInt(buf, int64(s), 10)
 	}
-	if c.Leader != nil {
-		b.WriteString("|")
-		b.WriteString(c.Leader.Key())
-	}
-	return b.String()
+	return c.appendLeaderKey(buf)
 }
 
 // MultisetKey returns a canonical encoding that forgets agent identities:
 // two configurations that are permutations of one another (the paper's
 // "equivalent configurations") share a MultisetKey.
 func (c *Config) MultisetKey() string {
-	sorted := make([]State, len(c.Mobile))
-	copy(sorted, c.Mobile)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var b strings.Builder
-	for i, s := range sorted {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%d", s)
-	}
-	if c.Leader != nil {
-		b.WriteString("|")
-		b.WriteString(c.Leader.Key())
-	}
-	return b.String()
+	return string(c.AppendMultisetKey(make([]byte, 0, c.keyCap())))
 }
+
+// maxCountingState bounds the counting-sort domain of AppendMultisetKey;
+// protocol states live in [0, |Q|) with |Q| ≈ P+1, far below it.
+const maxCountingState = 1 << 16
+
+// AppendMultisetKey appends MultisetKey's encoding to buf and returns
+// the extended slice. States lie in [0, |Q|), so the sort.Slice of the
+// original implementation is replaced by a counting sort: one pass to
+// count occupancies, then emission in increasing state order.
+func (c *Config) AppendMultisetKey(buf []byte) []byte {
+	max := State(-1)
+	countable := true
+	for _, s := range c.Mobile {
+		if s < 0 || s > maxCountingState {
+			countable = false
+			break
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if !countable {
+		// Out-of-domain states (never produced by valid protocols):
+		// fall back to comparison sorting.
+		sorted := make([]State, len(c.Mobile))
+		copy(sorted, c.Mobile)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, s := range sorted {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(s), 10)
+		}
+		return c.appendLeaderKey(buf)
+	}
+	counts := make([]int32, int(max)+1)
+	for _, s := range c.Mobile {
+		counts[s]++
+	}
+	first := true
+	for s, cnt := range counts {
+		for ; cnt > 0; cnt-- {
+			if !first {
+				buf = append(buf, ',')
+			}
+			first = false
+			buf = strconv.AppendInt(buf, int64(s), 10)
+		}
+	}
+	return c.appendLeaderKey(buf)
+}
+
+func (c *Config) appendLeaderKey(buf []byte) []byte {
+	if c.Leader != nil {
+		buf = append(buf, '|')
+		buf = append(buf, c.Leader.Key()...)
+	}
+	return buf
+}
+
+// keyCap estimates the encoded key length (4 bytes per agent covers
+// states up to 999 plus the separator).
+func (c *Config) keyCap() int { return 4*len(c.Mobile) + 16 }
 
 // Count returns how many mobile agents are in state s.
 func (c *Config) Count(s State) int {

@@ -74,6 +74,7 @@ type Graph struct {
 
 	canonical bool
 	keyOf     map[string]int
+	scratch   []byte // reused key buffer for the dedup hot loop
 }
 
 func (g *Graph) key(c *core.Config) string {
@@ -81,6 +82,18 @@ func (g *Graph) key(c *core.Config) string {
 		return c.MultisetKey()
 	}
 	return c.Key()
+}
+
+// keyBytes encodes c's dedup key into the reused scratch buffer; map
+// lookups on string(g.scratch) stay allocation-free, so interning an
+// already-seen configuration costs zero allocations.
+func (g *Graph) keyBytes(c *core.Config) []byte {
+	if g.canonical {
+		g.scratch = c.AppendMultisetKey(g.scratch[:0])
+	} else {
+		g.scratch = c.AppendKey(g.scratch[:0])
+	}
+	return g.scratch
 }
 
 // unorderedLabels enumerates the pair alphabet.
@@ -122,15 +135,15 @@ func Build(proto core.Protocol, starts []*core.Config, opts Options) (*Graph, er
 	}
 
 	intern := func(c *core.Config) (int, error) {
-		k := g.key(c)
-		if id, ok := g.keyOf[k]; ok {
+		k := g.keyBytes(c)
+		if id, ok := g.keyOf[string(k)]; ok {
 			return id, nil
 		}
 		if len(g.Nodes) >= opts.MaxNodes {
 			return 0, ErrTooLarge
 		}
 		id := len(g.Nodes)
-		g.keyOf[k] = id
+		g.keyOf[string(k)] = id
 		g.Nodes = append(g.Nodes, c.Clone())
 		g.Succ = append(g.Succ, nil)
 		return id, nil

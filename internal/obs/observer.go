@@ -48,6 +48,12 @@ type Observer struct {
 	quiet   int64
 	rules   map[RuleKey]uint64
 
+	// Dense per-rule accounting for the compiled engine: fire counts
+	// keyed by the transition-table index initiator*|Q|+responder, with
+	// the right-hand sides reconstructed from the table on read.
+	ruleTab    *core.Compiled
+	rulesDense []uint64
+
 	quietHist Histogram
 
 	pairTrack bool
@@ -95,11 +101,27 @@ func (o *Observer) NonNull() uint64 { return o.nonNull.Value() }
 // lengths (Finish flushes the trailing streak).
 func (o *Observer) QuietStreaks() *Histogram { return &o.quietHist }
 
+// CompileRules switches mobile per-rule accounting to a dense counter
+// array keyed by tab's flat table index, removing the map operation
+// from the hot loop. sim.Runner calls it when it installs a compiled
+// engine; RuleCounts merges both representations.
+func (o *Observer) CompileRules(tab *core.Compiled) {
+	if o.ruleTab == tab {
+		return
+	}
+	o.ruleTab = tab
+	o.rulesDense = make([]uint64, tab.States()*tab.States())
+}
+
 // ObserveMobile records a mobile-mobile interaction with its before and
 // after states.
 func (o *Observer) ObserveMobile(p core.Pair, x, y, x2, y2 core.State, changed bool) {
 	if changed {
-		o.rules[RuleKey{X: x, Y: y, X2: x2, Y2: y2}]++
+		if o.rulesDense != nil {
+			o.rulesDense[o.ruleTab.Idx(x, y)]++
+		} else {
+			o.rules[RuleKey{X: x, Y: y, X2: x2, Y2: y2}]++
+		}
 	}
 	o.ObservePair(p, changed)
 }
@@ -200,12 +222,39 @@ func (o *Observer) snapshot() Progress {
 	}
 }
 
+// distinctRules returns the number of distinct non-null rules fired,
+// across both the map and dense representations.
+func (o *Observer) distinctRules() int {
+	n := len(o.rules)
+	for _, c := range o.rulesDense {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // RuleCounts returns the non-null rule firings, most frequent first
-// with ties broken by rule text (deterministic for fixed seeds).
+// with ties broken by rule text (deterministic for fixed seeds). Counts
+// from the map and dense representations are merged per rule (a run can
+// touch both, e.g. leader rules stay in the map).
 func (o *Observer) RuleCounts() []RuleCount {
-	out := make([]RuleCount, 0, len(o.rules))
+	merged := make(map[string]uint64, o.distinctRules())
 	for k, c := range o.rules {
-		out = append(out, RuleCount{Rule: k.String(), Count: c})
+		merged[k.String()] += c
+	}
+	for idx, c := range o.rulesDense {
+		if c == 0 {
+			continue
+		}
+		q := o.ruleTab.States()
+		x, y := core.State(idx/q), core.State(idx%q)
+		x2, y2 := o.ruleTab.At(idx)
+		merged[RuleKey{X: x, Y: y, X2: x2, Y2: y2}.String()] += c
+	}
+	out := make([]RuleCount, 0, len(merged))
+	for rule, c := range merged {
+		out = append(out, RuleCount{Rule: rule, Count: c})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -286,7 +335,7 @@ func (o *Observer) Vars() []KV {
 		{"interactions", fmt.Sprintf("%d", steps)},
 		{"nonNull", fmt.Sprintf("%d", nonNull)},
 		{"nullFraction", fmt.Sprintf("%.4f", nullFrac)},
-		{"distinctRules", fmt.Sprintf("%d", len(o.rules))},
+		{"distinctRules", fmt.Sprintf("%d", o.distinctRules())},
 		{"quietStreaks", fmt.Sprintf("%d", o.quietHist.Count())},
 		{"quietStreakMean", fmt.Sprintf("%.1f", o.quietHist.Mean())},
 		{"quietStreakMax", fmt.Sprintf("%d", o.quietHist.Max())},

@@ -99,6 +99,13 @@ func RunBatchObserved(pr core.Protocol, trials, budget, workers int, bo BatchObs
 		workers = trials
 	}
 	withLeader := core.HasLeader(pr)
+	// Compile once and share the (immutable) table across all workers,
+	// instead of once per trial. A protocol that fails to compile runs
+	// every trial on the interface path, as a single run would.
+	var tab *core.Compiled
+	if pr.States() <= maxCompiledStates {
+		tab, _ = core.Compile(pr)
+	}
 	out := make([]BatchResult, trials)
 	busy := make([]int64, workers)
 	start := time.Now()
@@ -126,6 +133,9 @@ func RunBatchObserved(pr core.Protocol, trials, budget, workers int, bo BatchObs
 						ProgressEvery: bo.ProgressEvery,
 						Trial:         i,
 					})
+				}
+				if tab != nil {
+					run.UseCompiled(tab)
 				}
 				res := run.Run(budget)
 				out[i] = BatchResult{Trial: i, Result: res}

@@ -1,0 +1,130 @@
+package sim_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"popnaming/internal/core"
+	"popnaming/internal/experiments"
+	"popnaming/internal/sched"
+	"popnaming/internal/sim"
+)
+
+// diffCase instantiates one registry protocol at a size where every
+// protocol is well-defined (counting needs N < P, ssle needs N = P).
+func diffCase(t *testing.T, key string) (core.Protocol, int) {
+	t.Helper()
+	spec, err := experiments.Lookup(key)
+	if err != nil {
+		t.Fatalf("Lookup(%q): %v", key, err)
+	}
+	p, n := 12, 10
+	if key == "ssle" {
+		n = 12
+	}
+	return spec.New(p), n
+}
+
+func diffStart(pr core.Protocol, n int, seed int64) *core.Config {
+	if ap, ok := pr.(core.ArbitraryInitProtocol); ok {
+		return sim.ArbitraryConfig(ap, n, rand.New(rand.NewSource(seed)))
+	}
+	return sim.UniformConfig(pr, n)
+}
+
+func sameConfig(a, b *core.Config) bool {
+	if !reflect.DeepEqual(a.Mobile, b.Mobile) {
+		return false
+	}
+	if (a.Leader == nil) != (b.Leader == nil) {
+		return false
+	}
+	return a.Leader == nil || a.Leader.Key() == b.Leader.Key()
+}
+
+// TestCompiledMatchesInterpreted drives a compiled and an interpreted
+// runner of every registered protocol from identical seeds and demands
+// bit-identical configurations after every single interaction, plus
+// agreement between the incremental silence test and the exhaustive
+// O(n²) scan.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	const seed, steps = 1701, 3000
+	for _, key := range experiments.RegistryKeys() {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			pr, n := diffCase(t, key)
+			withLeader := core.HasLeader(pr)
+
+			comp := sim.NewRunner(pr, sched.NewRandom(n, withLeader, seed), diffStart(pr, n, seed))
+			interp := sim.NewRunner(pr, sched.NewRandom(n, withLeader, seed), diffStart(pr, n, seed))
+			interp.Interpret = true
+			if !comp.Compiled() {
+				t.Fatalf("protocol %q did not compile", key)
+			}
+			if interp.Compiled() {
+				t.Fatal("Interpret did not disable the compiled engine")
+			}
+
+			for s := 0; s < steps; s++ {
+				if comp.Step() != interp.Step() {
+					t.Fatalf("step %d: null/non-null disagreement", s)
+				}
+				if !sameConfig(comp.Cfg, interp.Cfg) {
+					t.Fatalf("step %d: configurations diverged:\n  compiled    %v\n  interpreted %v", s, comp.Cfg, interp.Cfg)
+				}
+				if s%157 == 0 {
+					exhaustive := core.Silent(pr, interp.Cfg)
+					if comp.Silent() != exhaustive || interp.Silent() != exhaustive {
+						t.Fatalf("step %d: silence tests disagree (census %v, interp %v, scan %v)",
+							s, comp.Silent(), interp.Silent(), exhaustive)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledRunMatchesInterpretedRun checks that full executions —
+// including the fused scheduler/table/census loop and its convergence
+// cutoff — return identical Results from identical seeds.
+func TestCompiledRunMatchesInterpretedRun(t *testing.T) {
+	const seed, budget = 2718, 400000
+	for _, key := range experiments.RegistryKeys() {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			pr, n := diffCase(t, key)
+			withLeader := core.HasLeader(pr)
+
+			comp := sim.NewRunner(pr, sched.NewRandom(n, withLeader, seed), diffStart(pr, n, seed))
+			interp := sim.NewRunner(pr, sched.NewRandom(n, withLeader, seed), diffStart(pr, n, seed))
+			interp.Interpret = true
+
+			got := comp.Run(budget)
+			want := interp.Run(budget)
+			if got.Converged != want.Converged || got.Steps != want.Steps || got.NonNull != want.NonNull {
+				t.Fatalf("results diverged:\n  compiled    %v\n  interpreted %v", got, want)
+			}
+			if !sameConfig(got.Final, want.Final) {
+				t.Fatalf("final configurations diverged:\n  compiled    %v\n  interpreted %v", got.Final, want.Final)
+			}
+		})
+	}
+}
+
+// TestRunCompiledExplicit exercises the exported fused-loop entry point
+// directly and checks it against the interpreted reference.
+func TestRunCompiledExplicit(t *testing.T) {
+	const seed, budget = 31415, 400000
+	pr, n := diffCase(t, "selfstab")
+
+	comp := sim.NewRunner(pr, sched.NewRandom(n, true, seed), diffStart(pr, n, seed))
+	interp := sim.NewRunner(pr, sched.NewRandom(n, true, seed), diffStart(pr, n, seed))
+	interp.Interpret = true
+
+	got := comp.RunCompiled(budget)
+	want := interp.Run(budget)
+	if got.Converged != want.Converged || got.Steps != want.Steps || got.NonNull != want.NonNull {
+		t.Fatalf("RunCompiled diverged from interpreted Run:\n  compiled    %v\n  interpreted %v", got, want)
+	}
+}

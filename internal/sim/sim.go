@@ -4,17 +4,32 @@
 // reports convergence statistics. It also provides configuration
 // construction helpers (uniform, arbitrary, adversarial) and transient
 // fault injection for the self-stabilization experiments.
+//
+// The runner executes through a compiled engine whenever it can (see
+// core.Compile): mobile-mobile transitions become two array loads, a
+// per-state census turns the mobile side of convergence detection into
+// an O(1) counter test, and Run fuses scheduler, table lookup and
+// census update into one allocation-free loop. Protocols that fail to
+// compile, oversized state spaces and explicitly interpreted runners
+// fall back to the original interface-dispatch path; the two paths are
+// step-for-step equivalent (see TestCompiledMatchesInterpreted).
 package sim
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"popnaming/internal/core"
 	"popnaming/internal/obs"
 	"popnaming/internal/sched"
 	"popnaming/internal/trace"
 )
+
+// maxCompiledStates caps the state count for transparent compilation:
+// beyond it the |Q|² tables (two []State plus a bitset) stop paying for
+// themselves in memory, and the runner keeps interface dispatch.
+const maxCompiledStates = 1 << 10
 
 // Result summarizes one execution.
 type Result struct {
@@ -53,7 +68,10 @@ func (r Result) String() string {
 // Runner executes one protocol instance over one configuration.
 type Runner struct {
 	// Proto, Sched and Cfg define the execution. Cfg is mutated in
-	// place as interactions are applied.
+	// place as interactions are applied. Once stepping has begun the
+	// configuration must only be mutated through the runner (the
+	// compiled engine mirrors it in a state census); corrupt-and-rerun
+	// experiments build a fresh runner per phase.
 	Proto core.Protocol
 	Sched sched.Scheduler
 	Cfg   *core.Config
@@ -75,9 +93,20 @@ type Runner struct {
 	// per step (see BenchmarkRunnerObsOverhead).
 	Obs *obs.Observer
 
+	// Interpret forces the interface-dispatch path, disabling the
+	// compiled engine. The differential tests use it to prove the two
+	// paths equivalent; set it before the first Step or Run.
+	Interpret bool
+
 	steps   int
 	nonNull int
 	quiet   int
+
+	engineInit bool
+	tab        *core.Compiled // nil: interpreted path
+	census     *core.Census   // non-nil iff tab is
+	lp         core.LeaderProtocol
+	rnd        *sched.Random // non-nil when Sched is a *sched.Random
 }
 
 // NewRunner returns a runner over the given protocol, scheduler and
@@ -95,11 +124,75 @@ func (r *Runner) Steps() int { return r.steps }
 // NonNull returns the number of state-changing interactions so far.
 func (r *Runner) NonNull() int { return r.nonNull }
 
+// Compiled reports whether the runner is executing through the
+// compiled engine (table dispatch + incremental silence detection).
+func (r *Runner) Compiled() bool {
+	r.ensureEngine()
+	return r.tab != nil
+}
+
+// UseCompiled installs a pre-compiled transition table, sharing it with
+// other runners of the same protocol (batch trials compile once). It
+// must be called before the first Step or Run and the table must have
+// been compiled from the runner's protocol.
+func (r *Runner) UseCompiled(tab *core.Compiled) {
+	if r.engineInit {
+		panic("sim: UseCompiled after the engine was initialized")
+	}
+	if tab != nil && tab.Source() != r.Proto {
+		panic(fmt.Sprintf("sim: compiled table of %q installed on a runner of %q", tab.Name(), r.Proto.Name()))
+	}
+	r.initEngine(tab)
+}
+
+// ensureEngine selects the execution path on first use: it compiles the
+// protocol (unless Interpret is set, the state space is oversized, or
+// compilation fails validation) and builds the configuration census.
+func (r *Runner) ensureEngine() {
+	if r.engineInit {
+		return
+	}
+	var tab *core.Compiled
+	if !r.Interpret && r.Proto.States() <= maxCompiledStates {
+		tab, _ = core.Compile(r.Proto)
+	}
+	r.initEngine(tab)
+}
+
+func (r *Runner) initEngine(tab *core.Compiled) {
+	r.engineInit = true
+	r.lp, _ = r.Proto.(core.LeaderProtocol)
+	if r.Interpret || tab == nil {
+		return
+	}
+	census, err := core.NewCensus(tab, r.Cfg)
+	if err != nil {
+		// Configuration outside the declared state space: stay on the
+		// interface path, which imposes no such contract.
+		return
+	}
+	r.tab, r.census = tab, census
+	r.rnd, _ = r.Sched.(*sched.Random)
+	if r.Obs != nil {
+		r.Obs.CompileRules(tab)
+	}
+}
+
 // Step executes one interaction and reports whether it was non-null.
 func (r *Runner) Step() bool {
-	pair := r.Sched.Next()
+	if !r.engineInit { // branch instead of a call: ensureEngine is over the inline budget
+		r.ensureEngine()
+	}
+	var pair core.Pair
+	if r.rnd != nil {
+		pair = r.rnd.Next()
+	} else {
+		pair = r.Sched.Next()
+	}
 	var changed bool
-	if r.Obs == nil {
+	if r.tab != nil {
+		changed = r.applyCompiled(pair)
+	} else if r.Obs == nil {
 		changed = core.ApplyPair(r.Proto, r.Cfg, pair)
 	} else {
 		changed = r.observedApply(pair)
@@ -113,6 +206,36 @@ func (r *Runner) Step() bool {
 		r.quiet = 0
 	} else {
 		r.quiet++
+	}
+	return changed
+}
+
+// applyCompiled applies one pair through the table, keeping the census
+// in sync and feeding the observer when one is attached.
+func (r *Runner) applyCompiled(pair core.Pair) bool {
+	if pair.A >= 0 && pair.B >= 0 {
+		m := r.Cfg.Mobile
+		x, y := m[pair.A], m[pair.B]
+		idx := r.tab.Idx(x, y)
+		x2, y2 := r.tab.At(idx)
+		changed := x2 != x || y2 != y
+		if changed {
+			m[pair.A], m[pair.B] = x2, y2
+			r.census.Apply(x, y, x2, y2)
+		}
+		if r.Obs != nil {
+			r.Obs.ObserveMobile(pair, x, y, x2, y2, changed)
+		}
+		return changed
+	}
+	j := pair.MobilePeer()
+	x := r.Cfg.Mobile[j]
+	changed := core.ApplyLeader(r.lp, r.Cfg, j)
+	if x2 := r.Cfg.Mobile[j]; x2 != x {
+		r.census.ApplyOne(x, x2)
+	}
+	if r.Obs != nil {
+		r.Obs.ObserveLeader(pair, x, r.Cfg.Mobile[j], changed)
 	}
 	return changed
 }
@@ -135,6 +258,22 @@ func (r *Runner) observedApply(pair core.Pair) bool {
 	changed := core.ApplyMobile(r.Proto, r.Cfg, pair.A, pair.B)
 	r.Obs.ObserveMobile(pair, x, y, r.Cfg.Mobile[pair.A], r.Cfg.Mobile[pair.B], changed)
 	return changed
+}
+
+// Silent reports whether the current configuration is terminal, using
+// the census counter test on the compiled path (O(1) for the mobile
+// side, one pass over the ≤ |Q| occupied states for the leader) and the
+// full O(n²) scan on the interpreted path.
+func (r *Runner) Silent() bool {
+	r.ensureEngine()
+	return r.silent()
+}
+
+func (r *Runner) silent() bool {
+	if r.census != nil {
+		return r.census.Silent(r.Cfg.Leader)
+	}
+	return core.Silent(r.Proto, r.Cfg)
 }
 
 func (r *Runner) quietThreshold() int {
@@ -165,17 +304,91 @@ func (r *Runner) Run(maxSteps int) Result {
 }
 
 func (r *Runner) run(maxSteps int) Result {
-	if core.Silent(r.Proto, r.Cfg) {
+	r.ensureEngine()
+	if r.silent() {
 		return Result{Converged: true, Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
+	}
+	if r.tab != nil && r.rnd != nil && r.Obs == nil && r.OnStep == nil {
+		return r.runCompiled(maxSteps)
 	}
 	threshold := r.quietThreshold()
 	for r.steps < maxSteps {
 		r.Step()
-		if r.quiet > 0 && r.quiet%threshold == 0 && core.Silent(r.Proto, r.Cfg) {
+		if r.quiet > 0 && r.quiet%threshold == 0 && r.silent() {
 			return Result{Converged: true, Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
 		}
 	}
-	return Result{Converged: core.Silent(r.Proto, r.Cfg), Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
+	return Result{Converged: r.silent(), Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
+}
+
+// RunCompiled is Run restricted to the fused fast loop: scheduler draw,
+// table lookup and census update in one allocation-free loop with the
+// counters kept in registers. It requires the compiled engine, a
+// *sched.Random scheduler and no observers, and panics otherwise (use
+// Run, which selects it automatically when eligible).
+func (r *Runner) RunCompiled(maxSteps int) Result {
+	r.ensureEngine()
+	if r.tab == nil || r.rnd == nil || r.Obs != nil || r.OnStep != nil {
+		panic("sim: RunCompiled requires the compiled engine, a random scheduler and no observers")
+	}
+	if r.silent() {
+		return Result{Converged: true, Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
+	}
+	return r.runCompiled(maxSteps)
+}
+
+// runCompiled is the fused hot loop. It must preserve the exact control
+// flow of the generic path — same silence-check points, same counter
+// semantics — so that compiled and interpreted runs of one seed yield
+// identical Results (the differential tests assert this).
+func (r *Runner) runCompiled(maxSteps int) Result {
+	var (
+		threshold = r.quietThreshold()
+		tab       = r.tab
+		cs        = r.census
+		rnd       = r.rnd
+		m         = r.Cfg.Mobile
+		steps     = r.steps
+		nonNull   = r.nonNull
+		quiet     = r.quiet
+		converged = false
+	)
+	for steps < maxSteps {
+		pair := rnd.Next()
+		var changed bool
+		if pair.A >= 0 && pair.B >= 0 {
+			x, y := m[pair.A], m[pair.B]
+			idx := tab.Idx(x, y)
+			x2, y2 := tab.At(idx)
+			if changed = x2 != x || y2 != y; changed {
+				m[pair.A], m[pair.B] = x2, y2
+				cs.Apply(x, y, x2, y2)
+			}
+		} else {
+			j := pair.MobilePeer()
+			x := r.Cfg.Mobile[j]
+			changed = core.ApplyLeader(r.lp, r.Cfg, j)
+			if x2 := r.Cfg.Mobile[j]; x2 != x {
+				cs.ApplyOne(x, x2)
+			}
+		}
+		steps++
+		if changed {
+			nonNull++
+			quiet = 0
+		} else {
+			quiet++
+			if quiet%threshold == 0 && cs.Silent(r.Cfg.Leader) {
+				converged = true
+				break
+			}
+		}
+	}
+	r.steps, r.nonNull, r.quiet = steps, nonNull, quiet
+	if !converged {
+		converged = r.silent()
+	}
+	return Result{Converged: converged, Steps: steps, NonNull: nonNull, Final: r.Cfg}
 }
 
 // UniformConfig builds the protocol's intended starting configuration
@@ -212,19 +425,41 @@ func ArbitraryConfig(p core.ArbitraryInitProtocol, n int, r *rand.Rand) *core.Co
 	return c
 }
 
+// corruptScratch pools the index slices of Corrupt so repeated fault
+// injections (the recovery sweeps) do not reallocate them.
+var corruptScratch = sync.Pool{New: func() any { return new([]int) }}
+
 // Corrupt injects a transient fault: it overwrites the states of k
 // distinct randomly chosen mobile agents with arbitrary states, and —
 // when corruptLeader is set and the protocol tolerates it — replaces the
 // leader state with an arbitrary one. It panics if k exceeds the
 // population size or if corruptLeader is requested for a protocol
 // without RandomLeader support.
+//
+// The k victims are chosen by a partial Fisher–Yates shuffle over a
+// pooled index slice: k swaps and k draws, where the previous
+// implementation permuted (and allocated) all n indices to keep k.
 func Corrupt(p core.ArbitraryInitProtocol, c *core.Config, r *rand.Rand, k int, corruptLeader bool) {
-	if k > c.N() {
-		panic(fmt.Sprintf("sim: cannot corrupt %d of %d agents", k, c.N()))
+	n := c.N()
+	if k > n {
+		panic(fmt.Sprintf("sim: cannot corrupt %d of %d agents", k, n))
 	}
-	for _, i := range r.Perm(c.N())[:k] {
-		c.Mobile[i] = p.RandomMobile(r)
+	idxp := corruptScratch.Get().(*[]int)
+	idx := *idxp
+	if cap(idx) < n {
+		idx = make([]int, n)
 	}
+	idx = idx[:n]
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		c.Mobile[idx[i]] = p.RandomMobile(r)
+	}
+	*idxp = idx
+	corruptScratch.Put(idxp)
 	if corruptLeader {
 		alp, ok := core.Protocol(p).(core.ArbitraryLeaderProtocol)
 		if !ok {
