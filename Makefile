@@ -4,10 +4,14 @@ GO ?= go
 # (see DESIGN.md "Performance" and EXPERIMENTS.md).
 ENGINE_BENCH = BenchmarkStepThroughput|BenchmarkSilenceCheck|BenchmarkRunConverge|BenchmarkBatchThroughput|BenchmarkConfigKey|BenchmarkConfigAppendKey|BenchmarkConfigMultisetKey|BenchmarkConfigAppendMultisetKey|BenchmarkCorrupt
 
-.PHONY: check vet build test race fmt fuzzbuild bench bench-engine
+# Parallel search / exploration benchmarks gating the worker-pool
+# claims (see DESIGN.md "Parallel model checking" and EXPERIMENTS.md).
+SEARCH_BENCH = BenchmarkSymmetricNaming|BenchmarkBuildLarge|BenchmarkGraphNodeID
+
+.PHONY: check vet build test race race-search fmt fuzzbuild bench bench-engine bench-search
 
 # check is the single entry point: everything CI (or a reviewer) needs.
-check: vet build race fmt fuzzbuild
+check: vet build race race-search fmt fuzzbuild
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +24,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-search re-runs the parallel explorer and sharded search under
+# the race detector with caching disabled, so every check run actually
+# exercises the worker-pool interleavings.
+race-search:
+	$(GO) test -race -count=1 ./internal/explore ./internal/search
 
 # fmt fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -40,3 +50,11 @@ bench:
 bench-engine:
 	$(GO) test -json -run='^$$' -bench='$(ENGINE_BENCH)' -benchmem -count=3 ./... > BENCH_PR2.json
 	@echo "wrote BENCH_PR2.json ($$(wc -l < BENCH_PR2.json) events)"
+
+# bench-search runs the parallel search/exploration benchmarks at
+# workers 1/2/8 and writes the go-test JSON stream to BENCH_PR3.json.
+# Speedup beyond workers=1 requires a multi-core host; see
+# EXPERIMENTS.md "Parallel search and exploration".
+bench-search:
+	$(GO) test -json -run='^$$' -bench='$(SEARCH_BENCH)' -benchmem -count=3 ./internal/explore ./internal/search > BENCH_PR3.json
+	@echo "wrote BENCH_PR3.json ($$(wc -l < BENCH_PR3.json) events)"

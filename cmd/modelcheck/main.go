@@ -19,8 +19,11 @@
 // deterministic — it uses no randomness, so the journal header carries
 // "deterministic":true instead of a seed. -journal records one "stage"
 // line per phase (graph build, global check, weak check, exact
-// analysis), -metrics prints the same timings as a table, and -pprof
-// captures CPU/heap profiles.
+// analysis) plus one "explore" record with graph-build metrics
+// (nodes/sec, BFS depth, intern hit rate, shard balance), -metrics
+// prints the stage timings as a table, and -pprof captures CPU/heap
+// profiles. -workers parallelizes the graph build; the graph (and
+// every verdict) is identical at any worker count.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 		p          = flag.Int("p", 3, "population bound P")
 		n          = flag.Int("n", 0, "population size N (default P)")
 		maxNodes   = flag.Int("maxnodes", 1<<21, "state-space cap")
+		workers    = flag.Int("workers", 1, "worker goroutines for the graph build (1 = sequential)")
 		exact      = flag.Bool("exact", false, "also compute exact expected convergence times")
 		allLeaders = flag.Bool("allleaders", false, "start from every leader state in domain (Protocol 2 only)")
 		journal    = flag.String("journal", "", "write a JSONL run journal to this file (see docs/observability.md)")
@@ -52,7 +56,7 @@ func main() {
 		pprofPfx   = flag.String("pprof", "", "write CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	)
 	flag.Parse()
-	if err := run(*protoKey, *p, *n, *maxNodes, *exact, *allLeaders, *journal, *metrics, *pprofPfx); err != nil {
+	if err := run(*protoKey, *p, *n, *maxNodes, *workers, *exact, *allLeaders, *journal, *metrics, *pprofPfx); err != nil {
 		fmt.Fprintln(os.Stderr, "modelcheck:", err)
 		os.Exit(1)
 	}
@@ -84,7 +88,7 @@ func (st *stageTimer) dump(w *os.File) {
 	t.Render(w)
 }
 
-func run(protoKey string, p, n, maxNodes int, exact, allLeaders bool, journal string, metrics bool, pprofPfx string) (err error) {
+func run(protoKey string, p, n, maxNodes, workers int, exact, allLeaders bool, journal string, metrics bool, pprofPfx string) (err error) {
 	spec, err := experiments.Lookup(protoKey)
 	if err != nil {
 		return err
@@ -134,6 +138,7 @@ func run(protoKey string, p, n, maxNodes int, exact, allLeaders bool, journal st
 		hdr.States = proto.States()
 		hdr.Leader = core.HasLeader(proto)
 		hdr.N = n
+		hdr.Workers = workers
 		hdr.Deterministic = true
 		if herr := st.sink.Emit(hdr); herr != nil {
 			return herr
@@ -143,16 +148,34 @@ func run(protoKey string, p, n, maxNodes int, exact, allLeaders bool, journal st
 	var g *explore.Graph
 	err = st.time("build", func() (string, error) {
 		var berr error
-		g, berr = explore.Build(proto, starts, explore.Options{MaxNodes: maxNodes})
+		g, berr = explore.Build(proto, starts, explore.Options{MaxNodes: maxNodes, Workers: workers})
 		if berr != nil {
 			return "", berr
 		}
-		return fmt.Sprintf("%d configurations, %d transitions", g.Size(), g.EdgeCount()), nil
+		return fmt.Sprintf("%d configurations, %d transitions, %d workers, depth %d",
+			g.Size(), g.EdgeCount(), g.Stats.Workers, g.Stats.Depth), nil
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("reachable state space: %d configurations, %d transitions\n", g.Size(), g.EdgeCount())
+	fmt.Printf("reachable state space: %d configurations, %d transitions (depth %d, %.0f nodes/s, intern hit rate %.3f)\n",
+		g.Size(), g.EdgeCount(), g.Stats.Depth, g.Stats.NodesPerSec(), g.Stats.HitRate())
+	if st.sink != nil {
+		rec := obs.NewExploreRec(proto.Name(), n)
+		rec.Workers = g.Stats.Workers
+		rec.Nodes = g.Size()
+		rec.Edges = g.EdgeCount()
+		rec.Depth = g.Stats.Depth
+		rec.InternHits = g.Stats.InternHits
+		rec.InternMisses = g.Stats.InternMisses
+		rec.InternHitRate = g.Stats.HitRate()
+		rec.ShardMin, rec.ShardMax = g.Stats.ShardBalance()
+		rec.WallNS = g.Stats.WallNS
+		rec.NodesPerSec = g.Stats.NodesPerSec()
+		if jerr := st.sink.Emit(rec); jerr != nil {
+			return jerr
+		}
+	}
 
 	st.time("check-global", func() (string, error) {
 		gv := g.CheckGlobal(explore.Naming)

@@ -29,6 +29,7 @@ func main() {
 		p        = flag.Int("p", 6, "population bound P for simulation checks")
 		mcp      = flag.Int("mcp", 3, "population bound for exhaustive model checks (state spaces grow exponentially)")
 		budget   = flag.Int("budget", 20_000_000, "per-run interaction budget")
+		workers  = flag.Int("workers", 1, "worker goroutines for exhaustive searches and model checks (1 = sequential)")
 		seedFlag = flag.Int64("seed", 1, "random seed (0: auto-derive from the clock; the seed used is printed)")
 		journal  = flag.String("journal", "", "write a JSONL run journal to this file (see docs/observability.md)")
 		metrics  = flag.Bool("metrics", false, "print a per-cell timing table after the reproduction")
@@ -38,13 +39,13 @@ func main() {
 	flag.Parse()
 
 	seed, derived := obs.ResolveSeed(*seedFlag)
-	if err := run(*p, *mcp, *budget, seed, derived, *journal, *metrics, *progress, *pprofPfx); err != nil {
+	if err := run(*p, *mcp, *budget, *workers, seed, derived, *journal, *metrics, *progress, *pprofPfx); err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)
 	}
 }
 
-func run(p, mcp, budget int, seed int64, derived bool, journal string, metrics bool, progress int, pprofPfx string) (err error) {
+func run(p, mcp, budget, workers int, seed int64, derived bool, journal string, metrics bool, progress int, pprofPfx string) (err error) {
 	if pprofPfx != "" {
 		stop, perr := obs.StartPprof(pprofPfx)
 		if perr != nil {
@@ -81,6 +82,7 @@ func run(p, mcp, budget int, seed int64, derived bool, journal string, metrics b
 		hdr := obs.NewHeader("table1")
 		hdr.P = p
 		hdr.Budget = budget
+		hdr.Workers = workers
 		hdr.Seed = seed
 		hdr.SeedDerived = derived
 		if herr := sink.Emit(hdr); herr != nil {
@@ -90,7 +92,7 @@ func run(p, mcp, budget int, seed int64, derived bool, journal string, metrics b
 
 	start := time.Now()
 	cells := experiments.Table1(experiments.Table1Options{
-		P: p, ModelCheckP: mcp, Budget: budget, Seed: seed,
+		P: p, ModelCheckP: mcp, Budget: budget, Seed: seed, Workers: workers,
 		OnCell: func(i int, c experiments.Cell) {
 			if sink != nil {
 				rec := obs.NewExperimentRec(

@@ -94,6 +94,15 @@ func (t *RuleTable) recomputeSymmetry() {
 // Name implements Protocol.
 func (t *RuleTable) Name() string { return t.name }
 
+// SetName renames the table and returns it for chaining. The exhaustive
+// search reuses one table per worker across thousands of candidates and
+// restamps the candidate index into the name instead of allocating a
+// fresh table each time.
+func (t *RuleTable) SetName(name string) *RuleTable {
+	t.name = name
+	return t
+}
+
 // P implements Protocol.
 func (t *RuleTable) P() int { return t.p }
 

@@ -55,6 +55,10 @@ type Table1Options struct {
 	Budget int
 	// Seed drives all randomized schedules.
 	Seed int64
+	// Workers parallelizes the exhaustive searches and model-check
+	// graph builds (default 1 = sequential). Cell results are
+	// identical at any worker count.
+	Workers int
 	// OnCell, when non-nil, receives each completed cell in table
 	// order with WallNS filled — the progress hook the journaling
 	// CLIs use to report and time cells as they finish.
@@ -70,6 +74,9 @@ func (o *Table1Options) fill() {
 	}
 	if o.Budget == 0 {
 		o.Budget = 20_000_000
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 }
 
@@ -118,8 +125,10 @@ func cellNoLeaderSymWeak(o Table1Options) Cell {
 	// Adversarial lockstep on the paper's own symmetric protocol plus
 	// exhaustive search over all 2-state symmetric protocols.
 	rep := impossible.Lockstep(naming.NewSymGlobal(o.P), o.P-o.P%2, 0, 40)
-	res := search.SymmetricNaming(2, []int{2}, search.Weak, search.BestUniform)
-	ok := rep.AlwaysUniform && !rep.Final.ValidNaming() && len(res.Survivors) == 0
+	res := search.SymmetricNamingOpts(2, []int{2}, search.Weak, search.BestUniform,
+		search.Options{Workers: o.Workers})
+	ok := rep.AlwaysUniform && !rep.Final.ValidNaming() &&
+		len(res.Survivors) == 0 && len(res.Inconclusive) == 0
 	return Cell{
 		Leader: "none", Rules: "symmetric/weak",
 		Claim: "impossible (Prop 1)",
@@ -134,9 +143,11 @@ func cellNoLeaderSymWeak(o Table1Options) Cell {
 func cellNoLeaderSymGlobal(o Table1Options) Cell {
 	pr := naming.NewSymGlobal(o.P)
 	simOK, runs := convergeMany(pr, o, func(n int) bool { return n > 2 }, true)
-	verdict := modelCheckSymGlobal(o.ModelCheckP)
-	lower := search.SymmetricNaming(3, []int{3}, search.Global, search.Arbitrary)
-	ok := simOK && verdict.OK && len(lower.Survivors) == 0 && pr.States() == o.P+1
+	verdict := modelCheckSymGlobal(o.ModelCheckP, o.Workers)
+	lower := search.SymmetricNamingOpts(3, []int{3}, search.Global, search.Arbitrary,
+		search.Options{Workers: o.Workers})
+	ok := simOK && verdict.OK && len(lower.Survivors) == 0 &&
+		len(lower.Inconclusive) == 0 && pr.States() == o.P+1
 	return Cell{
 		Leader: "none", Rules: "symmetric/global",
 		Claim: "P+1 states (Prop 13; bound Prop 2)",
@@ -146,9 +157,9 @@ func cellNoLeaderSymGlobal(o Table1Options) Cell {
 	}
 }
 
-func modelCheckSymGlobal(p int) explore.Verdict {
+func modelCheckSymGlobal(p, workers int) explore.Verdict {
 	pr := naming.NewSymGlobal(p)
-	g, err := explore.Build(pr, allStarts(pr.States(), 3, nil), explore.Options{MaxNodes: 1 << 20})
+	g, err := explore.Build(pr, allStarts(pr.States(), 3, nil), explore.Options{MaxNodes: 1 << 20, Workers: workers})
 	if err != nil {
 		return explore.Verdict{Reason: err.Error()}
 	}
@@ -160,7 +171,7 @@ func modelCheckSymGlobal(p int) explore.Verdict {
 func cellAsymmetric(o Table1Options, leader string) Cell {
 	pr := naming.NewAsymmetric(o.P)
 	simOK, runs := convergeMany(pr, o, nil, false)
-	g, err := explore.Build(pr, allStarts(pr.States(), 3, nil), explore.Options{MaxNodes: 1 << 20})
+	g, err := explore.Build(pr, allStarts(pr.States(), 3, nil), explore.Options{MaxNodes: 1 << 20, Workers: o.Workers})
 	verdictOK := false
 	explored := 0
 	if err == nil {
@@ -217,7 +228,7 @@ func cellInitLeaderSymWeak(o Table1Options) Cell {
 	}
 	// Theorem 11's bound: the P-state Protocol 3 fails the exhaustive
 	// weak-fairness check at N = P.
-	thm11 := modelCheckGlobalPWeak(o.ModelCheckP)
+	thm11 := modelCheckGlobalPWeak(o.ModelCheckP, o.Workers)
 	ok := okInit && !thm11.OK && il.States() == o.P
 	return Cell{
 		Leader: "initialized", Rules: "symmetric/weak",
@@ -228,9 +239,9 @@ func cellInitLeaderSymWeak(o Table1Options) Cell {
 	}
 }
 
-func modelCheckGlobalPWeak(p int) explore.Verdict {
+func modelCheckGlobalPWeak(p, workers int) explore.Verdict {
 	pr := naming.NewGlobalP(p)
-	g, err := explore.Build(pr, allStarts(pr.States(), p, pr.InitLeader()), explore.Options{MaxNodes: 1 << 20})
+	g, err := explore.Build(pr, allStarts(pr.States(), p, pr.InitLeader()), explore.Options{MaxNodes: 1 << 20, Workers: workers})
 	if err != nil {
 		return explore.Verdict{OK: true, Reason: err.Error()} // treat as inconclusive
 	}
@@ -241,7 +252,7 @@ func modelCheckGlobalPWeak(p int) explore.Verdict {
 func cellInitLeaderSymGlobal(o Table1Options) Cell {
 	mcP := o.ModelCheckP
 	pr := naming.NewGlobalP(mcP)
-	g, err := explore.Build(pr, allStarts(pr.States(), mcP, pr.InitLeader()), explore.Options{MaxNodes: 1 << 21})
+	g, err := explore.Build(pr, allStarts(pr.States(), mcP, pr.InitLeader()), explore.Options{MaxNodes: 1 << 21, Workers: o.Workers})
 	verdict := explore.Verdict{}
 	if err == nil {
 		verdict = g.CheckGlobal(explore.Naming)

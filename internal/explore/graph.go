@@ -22,12 +22,15 @@
 //     non-converging schedule that can be replayed by the simulator.
 //
 // The graph is exponential in the population size; Options.MaxNodes
-// guards against blow-up.
+// guards against blow-up, and Options.Workers spreads frontier
+// expansion over a pool of goroutines with hash-sharded interning (see
+// parallel.go) for large instances.
 package explore
 
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"popnaming/internal/core"
 )
@@ -49,13 +52,70 @@ type Edge struct {
 
 // Options configures graph construction.
 type Options struct {
-	// MaxNodes caps the explored state space (default 1 << 20).
+	// MaxNodes caps the explored state space (default 1 << 20). The
+	// budget is global: with Workers > 1 it is shared across all
+	// expansion workers, so ErrTooLarge fires iff the reachable state
+	// space exceeds MaxNodes, exactly as in a sequential build.
 	MaxNodes int
 	// Canonical quotients configurations by agent permutation
 	// (multiset semantics). Sound for global-fairness analysis of the
 	// permutation-invariant predicates used here; weak-fairness analysis
 	// requires identity-preserving graphs and rejects this option.
 	Canonical bool
+	// Workers > 1 expands BFS frontiers with a pool of goroutines and
+	// hash-sharded intern maps. The resulting graph is identical to a
+	// sequential build modulo node-id relabeling (same configuration
+	// set, same per-node edge structure); 0 or 1 builds sequentially.
+	Workers int
+}
+
+// BuildStats describes how a Build call explored the graph: BFS shape,
+// dedup effectiveness, and the load balance of the sharded intern maps.
+type BuildStats struct {
+	// Workers is the number of expansion workers actually used.
+	Workers int
+	// Depth is the number of BFS frontier generations (starts = 1).
+	Depth int
+	// InternHits counts dedup lookups that found an existing node;
+	// InternMisses counts lookups that created one (== final Size()).
+	InternHits   uint64
+	InternMisses uint64
+	// ShardNodes is the final node count per intern shard (a single
+	// entry for sequential builds) — the spread measures shard balance.
+	ShardNodes []int
+	// WallNS is the wall-clock duration of the build.
+	WallNS int64
+}
+
+// HitRate returns the fraction of intern lookups answered by an
+// existing node (0 when no lookups happened).
+func (s BuildStats) HitRate() float64 {
+	total := s.InternHits + s.InternMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.InternHits) / float64(total)
+}
+
+// NodesPerSec returns the node-creation throughput of the build.
+func (s BuildStats) NodesPerSec() float64 {
+	if s.WallNS <= 0 {
+		return 0
+	}
+	return float64(s.InternMisses) / (float64(s.WallNS) / 1e9)
+}
+
+// ShardBalance returns the smallest and largest per-shard node counts.
+func (s BuildStats) ShardBalance() (min, max int) {
+	for i, n := range s.ShardNodes {
+		if i == 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return min, max
 }
 
 // Graph is the reachability graph of a protocol instance.
@@ -71,17 +131,13 @@ type Graph struct {
 	Succ [][]Edge
 	// Start lists the node ids of the starting configurations.
 	Start []int
+	// Stats records how the build explored the graph.
+	Stats BuildStats
 
 	canonical bool
-	keyOf     map[string]int
-	scratch   []byte // reused key buffer for the dedup hot loop
-}
-
-func (g *Graph) key(c *core.Config) string {
-	if g.canonical {
-		return c.MultisetKey()
-	}
-	return c.Key()
+	keyOf     map[string]int // sequential builds
+	shards    []internShard  // parallel builds
+	scratch   []byte         // reused key buffer for the dedup hot loop
 }
 
 // keyBytes encodes c's dedup key into the reused scratch buffer; map
@@ -112,7 +168,9 @@ func unorderedLabels(n int, withLeader bool) []core.Pair {
 }
 
 // Build explores the reachability graph of proto from the given starting
-// configurations (all of the same population size).
+// configurations (all of the same population size). The starts are not
+// mutated and never aliased by the graph, so one start set can be shared
+// across many Build calls (the exhaustive search does).
 func Build(proto core.Protocol, starts []*core.Config, opts Options) (*Graph, error) {
 	if len(starts) == 0 {
 		return nil, errors.New("explore: no starting configurations")
@@ -131,12 +189,30 @@ func Build(proto core.Protocol, starts []*core.Config, opts Options) (*Graph, er
 		N:         n,
 		Labels:    unorderedLabels(n, core.HasLeader(proto)),
 		canonical: opts.Canonical,
-		keyOf:     make(map[string]int),
 	}
+	begin := time.Now()
+	var err error
+	if opts.Workers > 1 {
+		err = g.buildParallel(proto, starts, opts)
+	} else {
+		err = g.buildSequential(proto, starts, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g.Stats.WallNS = time.Since(begin).Nanoseconds()
+	return g, nil
+}
+
+// buildSequential is the single-goroutine BFS over one intern map.
+func (g *Graph) buildSequential(proto core.Protocol, starts []*core.Config, opts Options) error {
+	g.keyOf = make(map[string]int)
+	g.Stats.Workers = 1
 
 	intern := func(c *core.Config) (int, error) {
 		k := g.keyBytes(c)
 		if id, ok := g.keyOf[string(k)]; ok {
+			g.Stats.InternHits++
 			return id, nil
 		}
 		if len(g.Nodes) >= opts.MaxNodes {
@@ -144,6 +220,7 @@ func Build(proto core.Protocol, starts []*core.Config, opts Options) (*Graph, er
 		}
 		id := len(g.Nodes)
 		g.keyOf[string(k)] = id
+		g.Stats.InternMisses++
 		g.Nodes = append(g.Nodes, c.Clone())
 		g.Succ = append(g.Succ, nil)
 		return id, nil
@@ -154,7 +231,7 @@ func Build(proto core.Protocol, starts []*core.Config, opts Options) (*Graph, er
 		before := len(g.Nodes)
 		id, err := intern(c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g.Start = append(g.Start, id)
 		if len(g.Nodes) > before {
@@ -162,9 +239,30 @@ func Build(proto core.Protocol, starts []*core.Config, opts Options) (*Graph, er
 		}
 	}
 
-	for len(frontier) > 0 {
-		v := frontier[0]
-		frontier = frontier[1:]
+	// The queue pops by advancing a head index and compacts once the
+	// popped prefix dominates the backing array, so retained frontier
+	// memory stays O(live frontier); the previous frontier[1:] pattern
+	// pinned every popped id until the next append-triggered realloc.
+	// The half-full compaction threshold makes the copies amortized
+	// O(1) per pop.
+	head := 0
+	levelEnd := len(frontier)
+	if len(frontier) > 0 {
+		g.Stats.Depth = 1
+	}
+	for head < len(frontier) {
+		if head >= levelEnd {
+			g.Stats.Depth++
+			levelEnd = len(frontier)
+		}
+		if head > 1024 && head*2 >= len(frontier) {
+			n := copy(frontier, frontier[head:])
+			frontier = frontier[:n]
+			levelEnd -= head
+			head = 0
+		}
+		v := frontier[head]
+		head++
 		src := g.Nodes[v]
 		for li, label := range g.Labels {
 			for _, ordered := range orientations(label, proto.Symmetric()) {
@@ -173,7 +271,7 @@ func Build(proto core.Protocol, starts []*core.Config, opts Options) (*Graph, er
 				before := len(g.Nodes)
 				to, err := intern(next)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if len(g.Nodes) > before {
 					frontier = append(frontier, to)
@@ -182,7 +280,8 @@ func Build(proto core.Protocol, starts []*core.Config, opts Options) (*Graph, er
 			}
 		}
 	}
-	return g, nil
+	g.Stats.ShardNodes = []int{len(g.Nodes)}
+	return nil
 }
 
 // orientations returns the ordered pairs to apply for an unordered
@@ -234,8 +333,19 @@ func (g *Graph) EdgeCount() int {
 }
 
 // NodeID returns the node id of a configuration, or -1 if unexplored.
+// It encodes the lookup key into the graph's reused scratch buffer, so
+// repeated queries allocate nothing; like the build itself, it must not
+// be called concurrently.
 func (g *Graph) NodeID(c *core.Config) int {
-	if id, ok := g.keyOf[g.key(c)]; ok {
+	k := g.keyBytes(c)
+	if g.shards != nil {
+		sh := &g.shards[shardIndex(k, len(g.shards))]
+		if id, ok := sh.m[string(k)]; ok {
+			return id
+		}
+		return -1
+	}
+	if id, ok := g.keyOf[string(k)]; ok {
 		return id
 	}
 	return -1

@@ -1,0 +1,219 @@
+// Parallel frontier expansion for Build. The BFS proceeds in level
+// barriers: each frontier generation is split into contiguous batches
+// handed to a pool of workers through an atomic cursor, successor
+// configurations are deduplicated against hash-sharded intern maps
+// (keyed by the same zero-alloc AppendKey/AppendMultisetKey encoding as
+// the sequential path, one scratch buffer per worker), and node ids are
+// drawn from one global atomic counter so the MaxNodes budget is shared
+// across shards — ErrTooLarge fires iff the reachable state space
+// exceeds the budget, exactly as in a sequential build.
+//
+// Node ids depend on interleaving, so a parallel graph is only
+// guaranteed identical to the sequential one modulo id relabeling: the
+// configuration (key) set, node count, edge count, and each node's
+// label-ordered edge structure all coincide (differential tests assert
+// this); only the integer names differ.
+package explore
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"popnaming/internal/core"
+)
+
+// internShard is one lock stripe of the parallel dedup index.
+type internShard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// shardIndex hashes a dedup key to a shard (FNV-1a; n is a power of
+// two).
+func shardIndex(key []byte, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h & uint64(n-1))
+}
+
+// pendingNode is a node created during a level, placed into Graph.Nodes
+// at the level barrier (its id is already final).
+type pendingNode struct {
+	id  int
+	cfg *core.Config
+}
+
+// expandWorker is the per-goroutine state: a private key scratch buffer
+// and the nodes created by this worker during the current level.
+type expandWorker struct {
+	scratch      []byte
+	created      []pendingNode
+	hits, misses uint64
+}
+
+// buildParallel explores the graph with opts.Workers expansion workers.
+func (g *Graph) buildParallel(proto core.Protocol, starts []*core.Config, opts Options) error {
+	workers := opts.Workers
+	shardCount := 1
+	for shardCount < 4*workers {
+		shardCount <<= 1
+	}
+	if shardCount > 256 {
+		shardCount = 256
+	}
+	g.shards = make([]internShard, shardCount)
+	for i := range g.shards {
+		g.shards[i].m = make(map[string]int)
+	}
+	g.Stats.Workers = workers
+
+	var nodeCount atomic.Int64 // global node budget across all shards
+	var overflow atomic.Bool
+	symmetric := proto.Symmetric()
+
+	// Intern the starts on the caller's goroutine (no contention yet).
+	var frontier []int
+	for _, c := range starts {
+		k := g.keyBytes(c)
+		sh := &g.shards[shardIndex(k, shardCount)]
+		if id, ok := sh.m[string(k)]; ok {
+			g.Stats.InternHits++
+			g.Start = append(g.Start, id)
+			continue
+		}
+		id := int(nodeCount.Add(1) - 1)
+		if id >= opts.MaxNodes {
+			return ErrTooLarge
+		}
+		sh.m[string(k)] = id
+		g.Stats.InternMisses++
+		g.Nodes = append(g.Nodes, c.Clone())
+		g.Succ = append(g.Succ, nil)
+		g.Start = append(g.Start, id)
+		frontier = append(frontier, id)
+	}
+
+	pool := make([]expandWorker, workers)
+	for i := range pool {
+		pool[i].scratch = make([]byte, 0, 64)
+	}
+
+	for len(frontier) > 0 {
+		g.Stats.Depth++
+		// Batch hand-off: workers claim contiguous runs of the frontier
+		// through an atomic cursor, so load balances without per-node
+		// synchronization.
+		batch := len(frontier) / (workers * 4)
+		if batch < 1 {
+			batch = 1
+		}
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(ws *expandWorker) {
+				defer wg.Done()
+				ws.created = ws.created[:0]
+				for !overflow.Load() {
+					lo := int(cursor.Add(int64(batch))) - batch
+					if lo >= len(frontier) {
+						return
+					}
+					hi := lo + batch
+					if hi > len(frontier) {
+						hi = len(frontier)
+					}
+					for _, v := range frontier[lo:hi] {
+						if !g.expand(proto, symmetric, v, ws, &nodeCount, &overflow, opts.MaxNodes) {
+							return
+						}
+					}
+				}
+			}(&pool[w])
+		}
+		wg.Wait()
+		if overflow.Load() {
+			return ErrTooLarge
+		}
+
+		// Level barrier: place the created nodes at their reserved ids
+		// and form the next frontier (sorted for a deterministic
+		// expansion order next level).
+		base := len(g.Nodes)
+		total := int(nodeCount.Load())
+		for len(g.Nodes) < total {
+			g.Nodes = append(g.Nodes, nil)
+			g.Succ = append(g.Succ, nil)
+		}
+		next := make([]int, 0, total-base)
+		for i := range pool {
+			for _, pn := range pool[i].created {
+				g.Nodes[pn.id] = pn.cfg
+				next = append(next, pn.id)
+			}
+		}
+		sort.Ints(next)
+		frontier = next
+	}
+
+	for i := range pool {
+		g.Stats.InternHits += pool[i].hits
+		g.Stats.InternMisses += pool[i].misses
+	}
+	g.Stats.ShardNodes = make([]int, shardCount)
+	for i := range g.shards {
+		g.Stats.ShardNodes[i] = len(g.shards[i].m)
+	}
+	return nil
+}
+
+// expand computes node v's successors, interning each against the
+// sharded index and writing v's edge list (v is owned by exactly one
+// worker per level, and Nodes/Succ are only grown at level barriers, so
+// the writes race with nothing). It reports false when the global node
+// budget overflowed.
+func (g *Graph) expand(proto core.Protocol, symmetric bool, v int, ws *expandWorker, nodeCount *atomic.Int64, overflow *atomic.Bool, maxNodes int) bool {
+	src := g.Nodes[v]
+	var edges []Edge
+	for li, label := range g.Labels {
+		for _, ordered := range orientations(label, symmetric) {
+			next := src.Clone()
+			core.ApplyPair(proto, next, ordered)
+			if g.canonical {
+				ws.scratch = next.AppendMultisetKey(ws.scratch[:0])
+			} else {
+				ws.scratch = next.AppendKey(ws.scratch[:0])
+			}
+			sh := &g.shards[shardIndex(ws.scratch, len(g.shards))]
+			sh.mu.Lock()
+			id, ok := sh.m[string(ws.scratch)]
+			if ok {
+				sh.mu.Unlock()
+				ws.hits++
+			} else {
+				id64 := nodeCount.Add(1) - 1
+				if id64 >= int64(maxNodes) {
+					sh.mu.Unlock()
+					overflow.Store(true)
+					return false
+				}
+				id = int(id64)
+				sh.m[string(ws.scratch)] = id
+				sh.mu.Unlock()
+				ws.misses++
+				ws.created = append(ws.created, pendingNode{id: id, cfg: next})
+			}
+			edges = append(edges, Edge{To: id, Label: li, Ordered: ordered})
+		}
+	}
+	g.Succ[v] = edges
+	return true
+}

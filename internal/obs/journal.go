@@ -209,6 +209,42 @@ func NewExperimentRec(key, tag string, ok bool, wallNS int64) ExperimentRec {
 	return ExperimentRec{V: Version, Type: "experiment", Key: key, Tag: tag, OK: ok, WallNS: wallNS}
 }
 
+// ExploreRec reports one reachability-graph construction: its size,
+// the worker count it ran with, and the exploration metrics the
+// parallel builder collects (WallNS and NodesPerSec are the wall-clock
+// fields).
+type ExploreRec struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+
+	Protocol string `json:"protocol,omitempty"`
+	N        int    `json:"n,omitempty"`
+	Workers  int    `json:"workers"`
+
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Depth is the number of BFS levels explored.
+	Depth int `json:"depth"`
+
+	// InternHits / InternMisses count configuration-intern lookups that
+	// found resp. created a node; InternHitRate is hits over lookups.
+	InternHits    uint64  `json:"internHits"`
+	InternMisses  uint64  `json:"internMisses"`
+	InternHitRate float64 `json:"internHitRate"`
+	// ShardMin / ShardMax bound the per-shard node counts — a balance
+	// measure for the hash-sharded intern maps (equal when sequential).
+	ShardMin int `json:"shardMin"`
+	ShardMax int `json:"shardMax"`
+
+	WallNS      int64   `json:"wallNs"`
+	NodesPerSec float64 `json:"nodesPerSec"`
+}
+
+// NewExploreRec returns an exploration-metrics record.
+func NewExploreRec(protocol string, n int) ExploreRec {
+	return ExploreRec{V: Version, Type: "explore", Protocol: protocol, N: n}
+}
+
 // StageRec times one internal stage of a tool run, e.g. the model
 // checker's graph construction (WallNS is the wall-clock field).
 type StageRec struct {

@@ -35,6 +35,40 @@ func TestJournalSinkRecords(t *testing.T) {
 	}
 }
 
+func TestExploreRecMarshal(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJournalSink(&buf)
+	rec := NewExploreRec("symglobal", 4)
+	rec.Workers = 8
+	rec.Nodes = 625
+	rec.Edges = 5000
+	rec.Depth = 9
+	rec.InternHits = 4380
+	rec.InternMisses = 625
+	rec.InternHitRate = 0.875
+	rec.ShardMin = 10
+	rec.ShardMax = 30
+	rec.WallNS = 1_000_000
+	rec.NodesPerSec = 625_000
+	if err := s.Emit(rec); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &got); err != nil {
+		t.Fatalf("record not JSON: %v", err)
+	}
+	for k, want := range map[string]any{
+		"v": float64(Version), "type": "explore", "protocol": "symglobal",
+		"n": float64(4), "workers": float64(8), "nodes": float64(625),
+		"depth": float64(9), "internHitRate": 0.875, "shardMax": float64(30),
+		"nodesPerSec": float64(625_000),
+	} {
+		if got[k] != want {
+			t.Errorf("%s = %v, want %v", k, got[k], want)
+		}
+	}
+}
+
 // TestJournalSinkConcurrent exercises the mutex path under the race
 // detector: many goroutines share one sink, and every line must still
 // be a complete JSON object.

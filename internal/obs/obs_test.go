@@ -94,6 +94,38 @@ func TestObserverCounts(t *testing.T) {
 	}
 }
 
+// TestDistinctRulesDedupesRepresentations: a rule fired both before
+// CompileRules (map path) and after (dense path) is one distinct rule.
+// The old count summed the two representations blindly, so runs that
+// switched to the compiled engine mid-stream over-reported
+// distinctRules relative to RuleCounts (which merges per rule).
+func TestDistinctRulesDedupesRepresentations(t *testing.T) {
+	tab := core.MustCompile(core.NewRuleTable("t", 3, 2).
+		AddSymmetric(0, 0, 1, 1).
+		AddSymmetric(0, 1, 1, 0))
+	o := NewObserver(3, false, ObserverOptions{})
+	// Map path before the compiled engine is installed.
+	o.ObserveMobile(core.Pair{A: 0, B: 1}, 0, 0, 1, 1, true)
+	o.CompileRules(tab)
+	// Same rule again via the dense path, plus one dense-only rule.
+	o.ObserveMobile(core.Pair{A: 0, B: 2}, 0, 0, 1, 1, true)
+	o.ObserveMobile(core.Pair{A: 1, B: 2}, 0, 1, 1, 0, true)
+	o.Finish(true)
+
+	counts := o.RuleCounts()
+	if got, want := o.distinctRules(), len(counts); got != want {
+		t.Fatalf("distinctRules = %d, want len(RuleCounts()) = %d", got, want)
+	}
+	if len(counts) != 2 {
+		t.Fatalf("RuleCounts = %v, want 2 merged rules", counts)
+	}
+	for _, rc := range counts {
+		if rc.Rule == "(0,0)->(1,1)" && rc.Count != 2 {
+			t.Fatalf("merged count for (0,0)->(1,1) = %d, want 2", rc.Count)
+		}
+	}
+}
+
 func TestObserverLeaderPairs(t *testing.T) {
 	o := NewObserver(2, true, ObserverOptions{})
 	o.ObserveLeader(core.Pair{A: core.LeaderIndex, B: 0}, 0, 1, true)

@@ -223,11 +223,20 @@ func (o *Observer) snapshot() Progress {
 }
 
 // distinctRules returns the number of distinct non-null rules fired,
-// across both the map and dense representations.
+// across both the map and dense representations. A rule counted in
+// both — fired before CompileRules switched to the dense array and
+// again after — is one distinct rule, so dense entries that also
+// appear in the map are skipped.
 func (o *Observer) distinctRules() int {
 	n := len(o.rules)
-	for _, c := range o.rulesDense {
-		if c > 0 {
+	for idx, c := range o.rulesDense {
+		if c == 0 {
+			continue
+		}
+		q := o.ruleTab.States()
+		x, y := core.State(idx/q), core.State(idx%q)
+		x2, y2 := o.ruleTab.At(idx)
+		if _, dup := o.rules[RuleKey{X: x, Y: y, X2: x2, Y2: y2}]; !dup {
 			n++
 		}
 	}

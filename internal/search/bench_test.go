@@ -1,0 +1,38 @@
+package search
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkSymmetricNamingQ3 measures the full Proposition 1 search at
+// q = 3 (19683 candidates, sizes 2 and 3, weak fairness, best-uniform
+// starts) at several worker counts. The speedup at workers > 1 depends
+// on the host's core count — on a single-CPU machine the variants only
+// measure scheduling overhead (see EXPERIMENTS.md).
+func BenchmarkSymmetricNamingQ3(b *testing.B) {
+	for _, w := range []int{1, 2, 8} {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := SymmetricNamingOpts(3, []int{2, 3}, Weak, BestUniform, Options{Workers: w})
+				if len(r.Survivors) != 0 || len(r.Inconclusive) != 0 {
+					b.Fatalf("unexpected result: %s", r)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSymmetricNamingQ2SelfStab is a quick-running arbitrary-init
+// search (16 candidates, every 2-agent start) for tracking
+// per-candidate overhead without the q=3 wall-clock cost.
+func BenchmarkSymmetricNamingQ2SelfStab(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := SymmetricNamingOpts(2, []int{2}, Global, Arbitrary, Options{})
+		if len(r.Survivors) != 0 || len(r.Inconclusive) != 0 {
+			b.Fatalf("unexpected result: %s", r)
+		}
+	}
+}

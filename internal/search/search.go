@@ -18,10 +18,21 @@
 // The symmetric protocol space over q states has q^q choices for the
 // same-state rules (p,p) -> (r,r) and (q^2)^C(q,2) choices for the
 // distinct-state rules: 16 protocols for q = 2 and 19683 for q = 3.
+//
+// The candidate space is a mixed-radix coordinate system, so it splits
+// into contiguous shards checked by a pool of workers
+// (Options.Workers); shard results are merged in enumeration order, so
+// the Result is byte-identical at any worker count. Soundness: a
+// candidate whose model check aborts (state space over Options.MaxNodes)
+// is reported in Result.Inconclusive, never silently refuted — a "zero
+// survivors" claim is only meaningful when Inconclusive is empty too.
 package search
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"popnaming/internal/core"
 	"popnaming/internal/explore"
@@ -63,12 +74,42 @@ func (i Init) String() string {
 	return "arbitrary"
 }
 
+// DefaultMaxNodes is the per-candidate state-space cap used when
+// Options.MaxNodes is zero.
+const DefaultMaxNodes = 1 << 16
+
+// Options tunes an exhaustive search without changing its meaning.
+type Options struct {
+	// Workers splits the candidate space into that many contiguous
+	// shards checked concurrently; <= 1 searches sequentially. The
+	// Result is byte-identical at any worker count.
+	Workers int
+	// MaxNodes caps each candidate's explored state space
+	// (DefaultMaxNodes when zero). Candidates that overflow it are
+	// counted in Result.Inconclusive.
+	MaxNodes int
+	// StopOnSurvivor cancels the remaining candidates as soon as any
+	// worker finds a survivor — the early exit for refutation-style
+	// searches, where a single survivor already falsifies the claim
+	// being checked. A cancelled Result reports only the candidates
+	// actually evaluated (Protocols < the full space) and is not
+	// deterministic across worker counts.
+	StopOnSurvivor bool
+}
+
 // Survivor records a candidate that passed every convergence check —
 // the paper predicts there are none in the searched regimes.
 type Survivor struct {
 	Rules []core.Rule
 	// Start is the winning uniform start state (BestUniform only).
 	Start core.State
+}
+
+// Candidate identifies one enumerated protocol by its position in
+// enumeration order, with its non-null rules.
+type Candidate struct {
+	Index int
+	Rules []core.Rule
 }
 
 // Result summarizes an exhaustive search.
@@ -79,11 +120,88 @@ type Result struct {
 	Init      Init
 	Protocols int
 	Survivors []Survivor
+	// Inconclusive lists candidates whose model check hit the node
+	// budget (explore.ErrTooLarge) without being conclusively refuted:
+	// they are neither survivors nor refuted. A sound impossibility
+	// claim requires both Survivors and Inconclusive to be empty.
+	Inconclusive []Candidate
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("searched %d symmetric %d-state protocols (sizes %v, %s fairness, %s init): %d survivors",
-		r.Protocols, r.Q, r.Sizes, r.Fairness, r.Init, len(r.Survivors))
+	return fmt.Sprintf("searched %d symmetric %d-state protocols (sizes %v, %s fairness, %s init): %d survivors, %d inconclusive",
+		r.Protocols, r.Q, r.Sizes, r.Fairness, r.Init, len(r.Survivors), len(r.Inconclusive))
+}
+
+// pairSlot is one unordered distinct-state pair (p, q) with p < q.
+type pairSlot struct{ p, q int }
+
+// symSpace is the mixed-radix coordinate system of the symmetric
+// protocol space over q states: slots [0, q) choose r in (p,p)->(r,r)
+// (radix q each) and the remaining C(q,2) slots choose (p',q') in
+// (p,q)->(p',q') for p < q, encoded as p'*q+q' (radix q² each).
+// Candidate indices enumerate the space in little-endian mixed-radix
+// order, so any contiguous index range is a well-defined shard.
+type symSpace struct {
+	q        int
+	distinct []pairSlot
+	radix    []int
+	total    int
+}
+
+func newSymSpace(q int) symSpace {
+	s := symSpace{q: q}
+	for p := 0; p < q; p++ {
+		for r := p + 1; r < q; r++ {
+			s.distinct = append(s.distinct, pairSlot{p, r})
+		}
+	}
+	s.radix = make([]int, q+len(s.distinct))
+	s.total = 1
+	for i := range s.radix {
+		if i < q {
+			s.radix[i] = q
+		} else {
+			s.radix[i] = q * q
+		}
+		s.total *= s.radix[i]
+	}
+	return s
+}
+
+// decode writes idx's mixed-radix digits into counter.
+func (s *symSpace) decode(idx int, counter []int) {
+	for i, r := range s.radix {
+		counter[i] = idx % r
+		idx /= r
+	}
+}
+
+// increment advances counter to the next candidate, reporting false on
+// wraparound past the end of the space.
+func (s *symSpace) increment(counter []int) bool {
+	for i := range counter {
+		counter[i]++
+		if counter[i] < s.radix[i] {
+			return true
+		}
+		counter[i] = 0
+	}
+	return false
+}
+
+// fill programs t with the candidate encoded by counter. Every cell of
+// the q² transition table is overwritten (q same-state rules plus both
+// orientations of C(q,2) distinct-state rules), so a single table can
+// be reused across candidates without resetting.
+func (s *symSpace) fill(t *core.RuleTable, counter []int) {
+	for p := 0; p < s.q; p++ {
+		r := core.State(counter[p])
+		t.AddSymmetric(core.State(p), core.State(p), r, r)
+	}
+	for i, ps := range s.distinct {
+		code := counter[s.q+i]
+		t.AddSymmetric(core.State(ps.p), core.State(ps.q), core.State(code/s.q), core.State(code%s.q))
+	}
 }
 
 // EnumerateSymmetric calls fn with every deterministic symmetric
@@ -91,113 +209,189 @@ func (r Result) String() string {
 // returns the number of protocols enumerated. fn may return false to
 // stop early.
 func EnumerateSymmetric(q int, fn func(*core.RuleTable) bool) int {
-	// Slot layout: slots[0..q-1] choose r in (p,p)->(r,r); the remaining
-	// C(q,2) slots choose (p',q') in (p,q)->(p',q') for p < q, encoded
-	// as p'*q + q'.
-	type pairSlot struct{ p, q int }
-	var distinct []pairSlot
-	for p := 0; p < q; p++ {
-		for r := p + 1; r < q; r++ {
-			distinct = append(distinct, pairSlot{p, r})
-		}
+	return EnumerateSymmetricRange(q, 0, newSymSpace(q).total,
+		func(_ int, t *core.RuleTable) bool { return fn(t) })
+}
+
+// EnumerateSymmetricRange calls fn with the candidates lo..hi-1 of the
+// enumeration order, in order, passing each candidate's index. One
+// RuleTable is reused across all calls (fn must not retain it). It
+// returns the number of candidates enumerated; fn may return false to
+// stop early. Out-of-range bounds are clamped to [0, total].
+func EnumerateSymmetricRange(q, lo, hi int, fn func(idx int, t *core.RuleTable) bool) int {
+	s := newSymSpace(q)
+	if lo < 0 {
+		lo = 0
 	}
-	slots := q + len(distinct)
-	radix := make([]int, slots)
-	for i := 0; i < q; i++ {
-		radix[i] = q
+	if hi > s.total {
+		hi = s.total
 	}
-	for i := q; i < slots; i++ {
-		radix[i] = q * q
+	if lo >= hi {
+		return 0
 	}
-	counter := make([]int, slots)
+	counter := make([]int, len(s.radix))
+	s.decode(lo, counter)
+	t := core.NewRuleTable("search", q, q)
 	count := 0
-	for {
-		t := core.NewRuleTable(fmt.Sprintf("search-%d", count), q, q)
-		for p := 0; p < q; p++ {
-			r := core.State(counter[p])
-			t.AddSymmetric(core.State(p), core.State(p), r, r)
-		}
-		for i, ps := range distinct {
-			code := counter[q+i]
-			t.AddSymmetric(core.State(ps.p), core.State(ps.q), core.State(code/q), core.State(code%q))
-		}
+	for idx := lo; idx < hi; idx++ {
+		t.SetName("search-" + strconv.Itoa(idx))
+		s.fill(t, counter)
 		count++
-		if !fn(t) {
+		if !fn(idx, t) {
 			return count
 		}
-		// Increment the mixed-radix counter.
-		i := 0
-		for ; i < slots; i++ {
-			counter[i]++
-			if counter[i] < radix[i] {
-				break
-			}
-			counter[i] = 0
-		}
-		if i == slots {
-			return count
-		}
+		s.increment(counter)
 	}
+	return count
 }
 
 // SymmetricNaming searches all symmetric leaderless q-state protocols
 // for one that solves naming for every population size in sizes under
-// the given fairness and initialization regime.
+// the given fairness and initialization regime, sequentially with the
+// default node budget. See SymmetricNamingOpts.
 func SymmetricNaming(q int, sizes []int, fairness Fairness, init Init) Result {
+	return SymmetricNamingOpts(q, sizes, fairness, init, Options{})
+}
+
+// SymmetricNamingOpts is SymmetricNaming with explicit worker, node
+// budget, and cancellation options. The candidate space is split into
+// Options.Workers contiguous shards; each worker reuses one RuleTable
+// across its shard and shares the precomputed start sets (Build never
+// mutates or aliases them). Shard results are concatenated in shard
+// order, which is enumeration order, so the Result — survivor set,
+// Protocols, Inconclusive — is byte-identical at any worker count
+// (unless StopOnSurvivor cancels the search early).
+func SymmetricNamingOpts(q int, sizes []int, fairness Fairness, init Init, opts Options) Result {
 	res := Result{Q: q, Sizes: sizes, Fairness: fairness, Init: init}
-	res.Protocols = EnumerateSymmetric(q, func(t *core.RuleTable) bool {
-		switch init {
-		case BestUniform:
-			for s0 := 0; s0 < q; s0++ {
-				if solvesAll(t, sizes, fairness, uniformStarts(core.State(s0))) {
-					res.Survivors = append(res.Survivors, Survivor{Rules: t.Rules(), Start: core.State(s0)})
-				}
-			}
-		case Arbitrary:
-			if solvesAll(t, sizes, fairness, allStarts(q)) {
-				res.Survivors = append(res.Survivors, Survivor{Rules: t.Rules()})
+	space := newSymSpace(q)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > space.total {
+		workers = space.total
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+
+	// Start sets, computed once and shared by every candidate and
+	// worker: uniform[s0][i] for BestUniform, arbitrary[i] for
+	// Arbitrary (i indexes sizes).
+	var uniform [][][]*core.Config
+	var arbitrary [][]*core.Config
+	switch init {
+	case BestUniform:
+		uniform = make([][][]*core.Config, q)
+		for s0 := 0; s0 < q; s0++ {
+			uniform[s0] = make([][]*core.Config, len(sizes))
+			for i, n := range sizes {
+				uniform[s0][i] = []*core.Config{core.NewConfig(n, core.State(s0))}
 			}
 		}
-		return true
-	})
+	case Arbitrary:
+		arbitrary = make([][]*core.Config, len(sizes))
+		for i, n := range sizes {
+			arbitrary[i] = allStarts(q, n)
+		}
+	}
+
+	type shardOut struct {
+		processed    int
+		survivors    []Survivor
+		inconclusive []Candidate
+	}
+	outs := make([]shardOut, workers)
+	var cancelled atomic.Bool
+
+	runShard := func(w, lo, hi int) {
+		out := &outs[w]
+		out.processed = EnumerateSymmetricRange(q, lo, hi, func(idx int, t *core.RuleTable) bool {
+			if cancelled.Load() {
+				return false
+			}
+			found := false
+			switch init {
+			case BestUniform:
+				sawInconclusive := false
+				for s0 := 0; s0 < q; s0++ {
+					switch checkAll(t, uniform[s0], fairness, maxNodes) {
+					case candidateSolved:
+						out.survivors = append(out.survivors, Survivor{Rules: t.Rules(), Start: core.State(s0)})
+						found = true
+					case candidateInconclusive:
+						sawInconclusive = true
+					}
+				}
+				if !found && sawInconclusive {
+					out.inconclusive = append(out.inconclusive, Candidate{Index: idx, Rules: t.Rules()})
+				}
+			case Arbitrary:
+				switch checkAll(t, arbitrary, fairness, maxNodes) {
+				case candidateSolved:
+					out.survivors = append(out.survivors, Survivor{Rules: t.Rules()})
+					found = true
+				case candidateInconclusive:
+					out.inconclusive = append(out.inconclusive, Candidate{Index: idx, Rules: t.Rules()})
+				}
+			}
+			if found && opts.StopOnSurvivor {
+				cancelled.Store(true)
+				return false
+			}
+			return true
+		})
+	}
+
+	if workers == 1 {
+		runShard(0, 0, space.total)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * space.total / workers
+			hi := (w + 1) * space.total / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				runShard(w, lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	for _, out := range outs {
+		res.Protocols += out.processed
+		res.Survivors = append(res.Survivors, out.survivors...)
+		res.Inconclusive = append(res.Inconclusive, out.inconclusive...)
+	}
 	return res
 }
 
-// startsFunc produces the starting configurations for a population size.
-type startsFunc func(n int) []*core.Config
+// candidateVerdict is the three-valued outcome of model-checking one
+// candidate: refuted by a conclusive failed check, solved by passing
+// every check, or inconclusive when some state space overflowed the
+// node budget and no other size conclusively refuted it.
+type candidateVerdict int
 
-func uniformStarts(s0 core.State) startsFunc {
-	return func(n int) []*core.Config { return []*core.Config{core.NewConfig(n, s0)} }
-}
+const (
+	candidateRefuted candidateVerdict = iota
+	candidateSolved
+	candidateInconclusive
+)
 
-// allStarts enumerates every configuration of n agents over q states.
-func allStarts(q int) startsFunc {
-	return func(n int) []*core.Config {
-		total := 1
-		for i := 0; i < n; i++ {
-			total *= q
-		}
-		out := make([]*core.Config, 0, total)
-		states := make([]core.State, n)
-		for code := 0; code < total; code++ {
-			c := code
-			for i := range states {
-				states[i] = core.State(c % q)
-				c /= q
-			}
-			out = append(out, core.NewConfigStates(states...))
-		}
-		return out
-	}
-}
-
-// solvesAll checks naming convergence for every population size from
-// the given starts.
-func solvesAll(t *core.RuleTable, sizes []int, fairness Fairness, starts startsFunc) bool {
-	for _, n := range sizes {
-		g, err := explore.Build(t, starts(n), explore.Options{MaxNodes: 1 << 16})
+// checkAll model-checks one candidate against every start set (one per
+// population size). An explore.Build error — the state space exceeding
+// the node budget — must not count as a refutation: the candidate could
+// be a survivor hiding behind the budget, so it is inconclusive unless
+// some other size conclusively refutes it.
+func checkAll(t *core.RuleTable, startSets [][]*core.Config, fairness Fairness, maxNodes int) candidateVerdict {
+	sawError := false
+	for _, starts := range startSets {
+		g, err := explore.Build(t, starts, explore.Options{MaxNodes: maxNodes})
 		if err != nil {
-			return false
+			sawError = true
+			continue
 		}
 		var verdict explore.Verdict
 		if fairness == Global {
@@ -206,8 +400,30 @@ func solvesAll(t *core.RuleTable, sizes []int, fairness Fairness, starts startsF
 			verdict = g.CheckWeak(explore.Naming)
 		}
 		if !verdict.OK {
-			return false
+			return candidateRefuted
 		}
 	}
-	return true
+	if sawError {
+		return candidateInconclusive
+	}
+	return candidateSolved
+}
+
+// allStarts enumerates every configuration of n agents over q states.
+func allStarts(q, n int) []*core.Config {
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= q
+	}
+	out := make([]*core.Config, 0, total)
+	states := make([]core.State, n)
+	for code := 0; code < total; code++ {
+		c := code
+		for i := range states {
+			states[i] = core.State(c % q)
+			c /= q
+		}
+		out = append(out, core.NewConfigStates(states...))
+	}
+	return out
 }

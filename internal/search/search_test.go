@@ -1,6 +1,8 @@
 package search
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"popnaming/internal/core"
@@ -68,13 +70,18 @@ func TestEnumerationIsExhaustiveAndDistinct(t *testing.T) {
 
 // TestProp2NoTwoStateNaming: Proposition 1/2 at q = 2 — no symmetric
 // leaderless 2-state protocol names two agents, under either fairness,
-// with either initialization regime.
+// with either initialization regime. The impossibility claim is only
+// sound if every candidate was checked conclusively, so Inconclusive
+// must be empty too.
 func TestProp2NoTwoStateNaming(t *testing.T) {
 	for _, f := range []Fairness{Global, Weak} {
 		for _, init := range []Init{BestUniform, Arbitrary} {
 			r := SymmetricNaming(2, []int{2}, f, init)
 			if len(r.Survivors) != 0 {
 				t.Errorf("q=2 %s/%s: unexpected survivors: %v", f, init, r.Survivors)
+			}
+			if len(r.Inconclusive) != 0 {
+				t.Errorf("q=2 %s/%s: %d inconclusive candidates, claim is unsound", f, init, len(r.Inconclusive))
 			}
 			if r.Protocols != 16 {
 				t.Errorf("q=2: enumerated %d, want 16", r.Protocols)
@@ -93,6 +100,9 @@ func TestProp2NoThreeStateSelfStabilizingNaming(t *testing.T) {
 	if len(r.Survivors) != 0 {
 		t.Fatalf("unexpected survivors: %v", r.Survivors)
 	}
+	if len(r.Inconclusive) != 0 {
+		t.Fatalf("%d inconclusive candidates, claim is unsound", len(r.Inconclusive))
+	}
 	if r.Protocols != 19683 {
 		t.Fatalf("enumerated %d, want 19683", r.Protocols)
 	}
@@ -108,6 +118,9 @@ func TestProp1NoThreeStateUniformNamingWeak(t *testing.T) {
 	r := SymmetricNaming(3, []int{2, 3}, Weak, BestUniform)
 	if len(r.Survivors) != 0 {
 		t.Fatalf("unexpected survivors: %v", r.Survivors)
+	}
+	if len(r.Inconclusive) != 0 {
+		t.Fatalf("%d inconclusive candidates, claim is unsound", len(r.Inconclusive))
 	}
 }
 
@@ -128,5 +141,120 @@ func TestResultString(t *testing.T) {
 	s := r.String()
 	if s == "" {
 		t.Fatal("empty String()")
+	}
+}
+
+// TestInconclusiveNotSilentlyRefuted is the regression test for the
+// soundness bug: with a node budget too small for even the N=1 state
+// space, every candidate's model check aborts with ErrTooLarge. The
+// old code counted those aborts as refutations and reported "0
+// survivors" for a claim that is actually TRUE for every candidate
+// (the positive control: all 16 protocols name a single agent). Now
+// they must surface as Inconclusive instead.
+func TestInconclusiveNotSilentlyRefuted(t *testing.T) {
+	r := SymmetricNamingOpts(2, []int{1}, Weak, Arbitrary, Options{MaxNodes: 1})
+	if len(r.Survivors) != 0 {
+		t.Errorf("budget of 1 node cannot certify survivors, got %d", len(r.Survivors))
+	}
+	if len(r.Inconclusive) != r.Protocols {
+		t.Fatalf("want all %d candidates inconclusive, got %d", r.Protocols, len(r.Inconclusive))
+	}
+	for i, c := range r.Inconclusive {
+		if i > 0 && c.Index <= r.Inconclusive[i-1].Index {
+			t.Fatalf("Inconclusive not in enumeration order at %d: %d after %d",
+				i, c.Index, r.Inconclusive[i-1].Index)
+		}
+	}
+}
+
+// TestSearchDeterministicAcrossWorkers requires byte-identical Results
+// at workers 1, 2 and 8 — the correctness contract of sharded search.
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	type cfg struct {
+		q        int
+		sizes    []int
+		fairness Fairness
+		init     Init
+		maxNodes int
+	}
+	cases := []cfg{
+		{2, []int{2}, Global, BestUniform, 0},
+		{2, []int{2}, Global, Arbitrary, 0},
+		{2, []int{2}, Weak, BestUniform, 0},
+		{2, []int{2}, Weak, Arbitrary, 0},
+		{2, []int{1}, Weak, Arbitrary, 0}, // survivors present
+		{2, []int{1}, Weak, Arbitrary, 1}, // all inconclusive
+		{2, []int{1, 2}, Weak, BestUniform, 0},
+	}
+	if !testing.Short() {
+		cases = append(cases, cfg{3, []int{3}, Global, Arbitrary, 0})
+	}
+	for _, c := range cases {
+		base := SymmetricNamingOpts(c.q, c.sizes, c.fairness, c.init,
+			Options{Workers: 1, MaxNodes: c.maxNodes})
+		for _, w := range []int{2, 8} {
+			got := SymmetricNamingOpts(c.q, c.sizes, c.fairness, c.init,
+				Options{Workers: w, MaxNodes: c.maxNodes})
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("q=%d sizes=%v %s/%s maxNodes=%d: workers=%d Result differs from workers=1\n got: %+v\nwant: %+v",
+					c.q, c.sizes, c.fairness, c.init, c.maxNodes, w, got, base)
+			}
+		}
+	}
+}
+
+// TestEnumerateRangeConcatenation: splitting the space into contiguous
+// shards and concatenating them reproduces the full enumeration exactly
+// — the property the worker-pool sharding relies on.
+func TestEnumerateRangeConcatenation(t *testing.T) {
+	const q = 2
+	var full []string
+	EnumerateSymmetric(q, func(tab *core.RuleTable) bool {
+		full = append(full, tab.String())
+		return true
+	})
+	for _, shards := range []int{2, 3, 5, 8} {
+		var got []string
+		var gotIdx []int
+		total := 0
+		for w := 0; w < shards; w++ {
+			lo := w * len(full) / shards
+			hi := (w + 1) * len(full) / shards
+			total += EnumerateSymmetricRange(q, lo, hi, func(idx int, tab *core.RuleTable) bool {
+				got = append(got, tab.String())
+				gotIdx = append(gotIdx, idx)
+				return true
+			})
+		}
+		if total != len(full) {
+			t.Fatalf("%d shards enumerated %d candidates, want %d", shards, total, len(full))
+		}
+		for i := range full {
+			if gotIdx[i] != i {
+				t.Fatalf("%d shards: candidate %d reported index %d", shards, i, gotIdx[i])
+			}
+			// Names embed the index, so compare rules past the name.
+			wantRules := full[i][strings.IndexByte(full[i], '('):]
+			gotRules := got[i][strings.IndexByte(got[i], '('):]
+			if gotRules != wantRules {
+				t.Fatalf("%d shards: candidate %d is %q, want %q", shards, i, gotRules, wantRules)
+			}
+		}
+	}
+}
+
+// TestStopOnSurvivor: early cancellation must deliver a survivor
+// without evaluating the whole space (at worker counts where shards
+// remain after the hit).
+func TestStopOnSurvivor(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		r := SymmetricNamingOpts(2, []int{1}, Weak, Arbitrary,
+			Options{Workers: w, StopOnSurvivor: true})
+		if len(r.Survivors) == 0 {
+			t.Fatalf("workers=%d: StopOnSurvivor found no survivor in a space where all 16 survive", w)
+		}
+		if r.Protocols >= 16 {
+			t.Errorf("workers=%d: evaluated all %d candidates, expected early exit", w, r.Protocols)
+		}
 	}
 }
