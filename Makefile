@@ -8,10 +8,15 @@ ENGINE_BENCH = BenchmarkStepThroughput|BenchmarkSilenceCheck|BenchmarkRunConverg
 # claims (see DESIGN.md "Parallel model checking" and EXPERIMENTS.md).
 SEARCH_BENCH = BenchmarkSymmetricNaming|BenchmarkBuildLarge|BenchmarkGraphNodeID
 
-.PHONY: check vet build test race race-search fmt fuzzbuild bench bench-engine bench-search
+# Fault-layer benchmarks gating the robustness claims: the nil-injector
+# fast path must stay allocation-free and within the engine baseline
+# (see docs/robustness.md and EXPERIMENTS.md).
+FAULT_BENCH = BenchmarkRunnerNilInjector|BenchmarkRunnerEmptyInjector|BenchmarkRunnerCrashSuppression|BenchmarkE22Stabilize
+
+.PHONY: check vet build test race race-search race-fault fmt fuzzbuild bench bench-engine bench-search bench-fault
 
 # check is the single entry point: everything CI (or a reviewer) needs.
-check: vet build race race-search fmt fuzzbuild
+check: vet build race race-search race-fault fmt fuzzbuild
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +35,12 @@ race:
 # exercises the worker-pool interleavings.
 race-search:
 	$(GO) test -race -count=1 ./internal/explore ./internal/search
+
+# race-fault re-runs the fault layer and supervised batch runner under
+# the race detector with caching disabled: supervised batches share
+# sinks and injector wiring across worker goroutines.
+race-fault:
+	$(GO) test -race -count=1 ./internal/fault ./internal/sim ./internal/experiments
 
 # fmt fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -58,3 +69,10 @@ bench-engine:
 bench-search:
 	$(GO) test -json -run='^$$' -bench='$(SEARCH_BENCH)' -benchmem -count=3 ./internal/explore ./internal/search > BENCH_PR3.json
 	@echo "wrote BENCH_PR3.json ($$(wc -l < BENCH_PR3.json) events)"
+
+# bench-fault runs the fault-layer benchmarks and writes the go-test
+# JSON stream to BENCH_PR4.json. The nil-injector benchmark must report
+# 0 allocs/op.
+bench-fault:
+	$(GO) test -json -run='^$$' -bench='$(FAULT_BENCH)' -benchmem -count=3 . ./internal/sim > BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json ($$(wc -l < BENCH_PR4.json) events)"

@@ -475,3 +475,24 @@ func BenchmarkE21OracleSchedules(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE22Stabilize: one multi-epoch fault-injection campaign
+// (Protocol 2, N = 8, three convergence-triggered 2-corruptions, three
+// supervised trials) per iteration, reporting total interactions/op
+// across all epochs.
+func BenchmarkE22Stabilize(b *testing.B) {
+	pr := naming.NewSelfStab(8)
+	var totalSteps int64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Stabilize("selfstab", pr, experiments.StabilizeOptions{
+			N: 8, Epochs: 3, Trials: 3, Workers: 1, Seed: int64(i),
+		})
+		if !res.OK {
+			b.Fatalf("stabilization failed: %+v", res)
+		}
+		for _, e := range res.Epochs {
+			totalSteps += int64(e.MedianSteps) * int64(e.Trials)
+		}
+	}
+	b.ReportMetric(float64(totalSteps)/float64(b.N), "interactions/op")
+}

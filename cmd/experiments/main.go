@@ -15,17 +15,29 @@
 //	experiments trajectory     convergence trajectories (E19)
 //	experiments distribution   exact convergence-time distributions (E20)
 //	experiments oracle         constructive proof schedules (E21)
+//	experiments stabilize      multi-epoch fault injection / re-convergence (E22)
 //	experiments all            everything above
 //
 // With -json the selected experiments are emitted as one JSON document
 // on stdout instead of rendered tables (including a "timings" section
 // with per-experiment wall-clock times and tags).
 //
+// The stabilize experiment runs under supervision (see
+// docs/robustness.md): -faults overrides its default per-epoch
+// corruption plan, -deadline bounds each protocol's batch wall clock,
+// and -retries grants stalled trials fresh derived-seed attempts.
+//
 // Observability (see docs/observability.md): -journal records one
-// "experiment" line per experiment run, -metrics prints the timing
-// table, -progress-every 1 announces each experiment on stderr as it
+// "experiment" line per experiment run (plus "fault" lines from the
+// stabilize experiment), -metrics prints the timing table,
+// -progress-every 1 announces each experiment on stderr as it
 // completes, and -pprof captures CPU/heap profiles. The seed actually
 // used is always reported, including when -seed 0 auto-derives one.
+//
+// SIGINT interrupts the suite cleanly: in-flight supervised work is
+// aborted and journaled as such, remaining experiments are journaled
+// as skipped, the journal is flushed, and the process exits 130. A
+// second SIGINT kills the process immediately.
 package main
 
 import (
@@ -33,9 +45,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
 	"time"
 
 	"popnaming/internal/experiments"
+	"popnaming/internal/fault"
 	"popnaming/internal/obs"
 	"popnaming/internal/report"
 )
@@ -57,6 +72,7 @@ type results struct {
 	Trajectories  []experiments.Trajectory         `json:"trajectories,omitempty"`
 	Distributions []experiments.DistPoint          `json:"distributions,omitempty"`
 	Oracle        []experiments.OraclePoint        `json:"oracleSchedules,omitempty"`
+	Stabilize     []experiments.StabilizeResult    `json:"stabilize,omitempty"`
 	Timings       []obs.ExperimentRec              `json:"timings,omitempty"`
 }
 
@@ -67,12 +83,26 @@ type suiteRunner struct {
 	progress int
 	timings  []obs.ExperimentRec
 	ok       bool
+	// interrupted reports whether SIGINT arrived; once true, run skips
+	// every remaining experiment but still journals it as skipped, so
+	// the partial journal says exactly what did and did not happen.
+	interrupted func() bool
 }
 
 // run executes the experiment registered under key. body returns
 // whether the experiment's checks passed.
 func (sr *suiteRunner) run(key string, body func() bool) {
 	entry, _ := experiments.SuiteLookup(key)
+	if sr.interrupted != nil && sr.interrupted() {
+		rec := obs.NewExperimentRec(key, entry.Tag, false, 0)
+		rec.Skipped = true
+		rec.Detail = "skipped: interrupted"
+		sr.timings = append(sr.timings, rec)
+		if sr.sink != nil {
+			sr.sink.Emit(rec)
+		}
+		return
+	}
 	start := time.Now()
 	ok := body()
 	rec := obs.NewExperimentRec(key, entry.Tag, ok, time.Since(start).Nanoseconds())
@@ -113,8 +143,21 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print the per-experiment timing table")
 		progress = flag.Int("progress-every", 0, "announce every k-th completed experiment on stderr (0: off)")
 		pprofPfx = flag.String("pprof", "", "write CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
+		faults   = flag.String("faults", "", "fault plan for the stabilize experiment, e.g. '@conv:corrupt=2,@conv:crash=1' (default: 3 epochs of @conv:corrupt=2)")
+		deadline = flag.Duration("deadline", 0, "wall-clock deadline per stabilize batch (0: none)")
+		retries  = flag.Int("retries", 0, "stall-retry allowance per stabilize trial")
 	)
 	flag.Parse()
+
+	var faultPlan *fault.Plan
+	if *faults != "" {
+		pl, perr := fault.Parse(*faults)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -faults:", perr)
+			os.Exit(2)
+		}
+		faultPlan = pl
+	}
 
 	which := "all"
 	if flag.NArg() > 0 {
@@ -152,7 +195,22 @@ func main() {
 		}()
 	}
 
-	sr := &suiteRunner{progress: *progress, ok: true}
+	// First SIGINT sets the flag: supervised work aborts at its next
+	// check, remaining experiments are skipped, and the journal is
+	// flushed before exiting 130. Stopping signal delivery after the
+	// first one restores the default disposition, so a second SIGINT
+	// kills the process the ordinary way.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		signal.Stop(sigc)
+		fmt.Fprintln(os.Stderr, "experiments: interrupt — finishing up, flushing journal (^C again to kill)")
+	}()
+
+	sr := &suiteRunner{progress: *progress, ok: true, interrupted: interrupted.Load}
 	var closeJournal func() error
 	if *journal != "" {
 		s, closeFn, jerr := obs.OpenJournal(*journal)
@@ -312,6 +370,34 @@ func main() {
 			return true
 		})
 	}
+	if runAll || which == "stabilize" {
+		sr.run("stabilize", func() bool {
+			opts := experiments.StabilizeOptions{
+				Seed:      seed,
+				Plan:      faultPlan,
+				Deadline:  *deadline,
+				Retries:   *retries,
+				Interrupt: interrupted.Load,
+			}
+			if sr.sink != nil {
+				opts.Sink = sr.sink
+			}
+			out.Stabilize = experiments.StabilizeAll(*p, opts)
+			if !*asJSON {
+				experiments.RenderStabilize(os.Stdout, out.Stabilize)
+				fmt.Println()
+			}
+			if interrupted.Load() {
+				return false
+			}
+			for _, res := range out.Stabilize {
+				if !res.OK {
+					return false
+				}
+			}
+			return len(out.Stabilize) > 0
+		})
+	}
 	out.Timings = sr.timings
 
 	if *asJSON {
@@ -331,8 +417,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if interrupted.Load() {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; partial results journaled")
+		os.Exit(130)
+	}
 	if !sr.ok {
-		fmt.Fprintln(os.Stderr, "experiments: some Table 1 cells disagree with the paper")
+		fmt.Fprintln(os.Stderr, "experiments: some experiment checks failed")
 		os.Exit(1)
 	}
 }

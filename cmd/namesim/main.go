@@ -9,6 +9,16 @@
 //	namesim -protocol symglobal -p 5 -n 4 -sched matching -budget 100000
 //	namesim -protocol asym -journal out.jsonl -metrics -progress-every 100000
 //	namesim -protocol asym -engine interp -seed 7   # force interface dispatch
+//	namesim -protocol selfstab -init arbitrary -faults '@conv:corrupt=3,@conv:corrupt=3'
+//	namesim -protocol asym -faults '@5000:crash=1' -deadline 30s -retries 2
+//
+// Fault injection (see docs/robustness.md): -faults takes a fault-plan
+// string (events "@step:kind=arg" or "@conv:kind=arg"; kinds corrupt,
+// leader, crash, churn, omit) executed mid-run by the supervised
+// runner; -deadline, -retries and -stall bound the run's wall clock,
+// stall retries and stall detection. Any of these flags selects the
+// supervised path, which reports the trial status (ok | retried |
+// aborted) alongside the result.
 //
 // Protocols: asym, symglobal, initleader, selfstab, globalp, counting,
 // naive (see -list).
@@ -26,11 +36,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"popnaming/internal/adversary"
 	"popnaming/internal/core"
 	"popnaming/internal/experiments"
 	"popnaming/internal/fairness"
+	"popnaming/internal/fault"
 	"popnaming/internal/obs"
 	"popnaming/internal/sched"
 	"popnaming/internal/sim"
@@ -51,10 +63,20 @@ type options struct {
 	adv      bool
 	hidden   int
 	hide     int
+	faults   string
+	deadline time.Duration
+	retries  int
+	stall    int
 	journal  string
 	metrics  bool
 	progress int
 	pprof    string
+}
+
+// supervised reports whether any fault/supervision flag selects the
+// supervised execution path.
+func (o *options) supervised() bool {
+	return o.faults != "" || o.deadline > 0 || o.retries > 0 || o.stall > 0
 }
 
 func main() {
@@ -71,6 +93,10 @@ func main() {
 		adv      = flag.Bool("adversary", false, "use the greedy anti-naming adversary (enforced weak fairness) instead of -sched")
 		hidden   = flag.Int("hidden", 0, "eclipse scheduler: agent to hide")
 		hide     = flag.Int("hide", 100000, "eclipse scheduler: steps to hide for")
+		faults   = flag.String("faults", "", "fault plan, e.g. '@5000:corrupt=3,@conv:crash=1' (see docs/robustness.md)")
+		deadline = flag.Duration("deadline", 0, "wall-clock deadline for the supervised run (0: none)")
+		retries  = flag.Int("retries", 0, "stall retries with derived seeds before aborting")
+		stall    = flag.Int("stall", 0, "quiet-streak length declaring a stall (0: default when supervised)")
 		list     = flag.Bool("list", false, "list protocols and exit")
 		journal  = flag.String("journal", "", "write a JSONL run journal to this file (see docs/observability.md)")
 		metrics  = flag.Bool("metrics", false, "print the run-metrics and rule-firing tables after the run")
@@ -89,6 +115,7 @@ func main() {
 	o := options{
 		proto: *protoKey, p: *p, n: *n, sched: *schedKey, init: *initKey, engine: *engine,
 		budget: *budget, audit: *audit, adv: *adv, hidden: *hidden, hide: *hide,
+		faults: *faults, deadline: *deadline, retries: *retries, stall: *stall,
 		journal: *journal, metrics: *metrics, progress: *progress, pprof: *pprofPfx,
 	}
 	o.seed, o.derived = obs.ResolveSeed(*seed)
@@ -143,7 +170,13 @@ func run(o options) (err error) {
 	}
 
 	if o.adv {
+		if o.supervised() {
+			return fmt.Errorf("-faults/-deadline/-retries/-stall cannot be combined with -adversary")
+		}
 		return runAdversarial(proto, cfg, o, sink)
+	}
+	if o.supervised() {
+		return runSupervised(proto, o, sink)
 	}
 	s, err := buildScheduler(proto, o.n, o.sched, o.seed, o.hidden, o.hide)
 	if err != nil {
@@ -207,6 +240,124 @@ func run(o options) (err error) {
 	return err
 }
 
+// runSupervised drives a fault-injected run under the supervisor:
+// the plan's events fire mid-run on the live runner (census resynced
+// after every mutating fault), stalls are retried with derived seeds,
+// and deadline/stall exhaustion yields a partial result tagged aborted
+// instead of a hang.
+func runSupervised(proto core.Protocol, o options, sink *obs.JournalSink) error {
+	plan, err := fault.Parse(o.faults)
+	if err != nil {
+		return err
+	}
+	// Validate plan capabilities and the init/scheduler keys once, so
+	// the per-attempt builder below cannot fail.
+	if _, err := fault.NewInjector(plan, proto, o.seed); err != nil {
+		return err
+	}
+	if _, err := buildConfig(proto, o.n, o.init, o.seed); err != nil {
+		return err
+	}
+	s0, err := buildScheduler(proto, o.n, o.sched, o.seed, o.hidden, o.hide)
+	if err != nil {
+		return err
+	}
+	if o.engine != "compiled" && o.engine != "interp" {
+		return fmt.Errorf("unknown engine %q (compiled | interp)", o.engine)
+	}
+
+	fmt.Printf("protocol %s (P=%d, %d states/agent, symmetric=%v, leader=%v)\n",
+		proto.Name(), proto.P(), proto.States(), proto.Symmetric(), core.HasLeader(proto))
+	fmt.Printf("population N=%d, scheduler %s, init %s, seed %d%s\n",
+		o.n, s0.Name(), o.init, o.seed, seedNote(o.derived))
+	fmt.Printf("supervised: plan %q, deadline %v, retries %d\n", plan.String(), o.deadline, o.retries)
+	if sink != nil {
+		hdr := header("namesim", proto, o)
+		hdr.Scheduler = s0.Name()
+		if herr := sink.Emit(hdr); herr != nil {
+			return herr
+		}
+	}
+
+	sup := sim.Supervision{
+		StepBudget: o.budget,
+		Deadline:   o.deadline,
+		StallQuiet: o.stall,
+		Retries:    o.retries,
+	}
+	if sup.StallQuiet == 0 {
+		// Retries and deadlines only help if stalls are detected:
+		// default to a large multiple of the silence-check window.
+		w := 4 * o.n * o.n
+		if w < 64 {
+			w = 64
+		}
+		sup.StallQuiet = 2048 * w
+	}
+	if sink != nil {
+		sup.Sink = sink
+	}
+	var inj *fault.Injector
+	var observer *obs.Observer
+	var finalCfg *core.Config
+	var col *trace.Collector
+	sr := sim.Supervise(sup, func(attempt int) *sim.Runner {
+		seed := o.seed
+		if attempt > 0 {
+			seed = sim.DeriveSeed(o.seed, 0, attempt)
+			fmt.Printf("retry %d: derived seed %d\n", attempt, seed)
+		}
+		cfg, _ := buildConfig(proto, o.n, o.init, seed)
+		finalCfg = cfg
+		s, _ := buildScheduler(proto, o.n, o.sched, seed, o.hidden, o.hide)
+		runner := sim.NewRunner(proto, s, cfg)
+		runner.Interpret = o.engine == "interp"
+		inj, _ = fault.NewInjector(plan, proto, seed)
+		if sink != nil {
+			inj.Sink = sink
+		}
+		runner.Inject = inj
+		if sink != nil || o.metrics {
+			observer = obs.NewObserver(o.n, core.HasLeader(proto), obs.ObserverOptions{
+				Sink:          sink,
+				ProgressEvery: o.progress,
+			})
+			runner.Obs = observer
+		}
+		if o.audit {
+			col = &trace.Collector{}
+			runner.OnStep = col.Record
+		}
+		return runner
+	})
+
+	fmt.Printf("status: %s (attempts %d", sr.Status, sr.Attempts)
+	if sr.Reason != "" {
+		fmt.Printf(", reason %s", sr.Reason)
+	}
+	fmt.Printf(", wall %v)\n", time.Duration(sr.WallNS).Round(time.Millisecond))
+	for _, f := range inj.Fired() {
+		fmt.Printf("fault: %s fired at step %d\n", f.Event, f.Step)
+	}
+	if got, want := len(inj.Fired()), len(plan.Events); got < want {
+		fmt.Printf("faults pending: %d of %d events never fired\n", want-got, want)
+	}
+	fmt.Printf("result: %s\n", sr.Result)
+	fmt.Printf("valid naming: %v\n", finalCfg.ValidNaming())
+	if sr.Converged {
+		fmt.Printf("parallel time: %.1f\n", sr.ParallelTime(o.n))
+	}
+	if o.audit {
+		a := fairness.AuditPairs(col.Pairs(), o.n, core.HasLeader(proto))
+		fmt.Printf("%s\n", a)
+	}
+	if o.metrics {
+		fmt.Println()
+		observer.Dump(os.Stdout)
+	}
+	return nil
+}
+
 // runAdversarial drives the execution with the greedy anti-naming
 // adversary under mechanically enforced weak fairness. The adversarial
 // runner only exposes pair events, so journals and metrics from this
@@ -241,6 +392,9 @@ func runAdversarial(proto core.Protocol, cfg *core.Config, o options, sink *obs.
 	}
 	silent := runner.Run(o.budget)
 	if observer != nil {
+		// Surface the enforced-fairness count in the summary record so
+		// adversarial runs are auditable like scheduler runs.
+		observer.SetForced(int64(runner.Forced()))
 		observer.Finish(silent)
 	}
 	fmt.Printf("silent: %v after %d interactions (%d fairness-forced)\n",

@@ -56,6 +56,29 @@ func (cs *Census) recount() int {
 	return active
 }
 
+// Resync rebuilds the census from cfg after an external mutation (for
+// example a mid-run fault injection that rewrote agent states). The
+// incremental counts only stay truthful while every change flows
+// through Apply/ApplyOne; anything that writes cfg.Mobile directly must
+// Resync before the next silence test. It rejects configurations
+// holding states outside [0, |Q|), leaving the census unchanged.
+func (cs *Census) Resync(cfg *Config) error {
+	q := cs.tab.States()
+	for i, s := range cfg.Mobile {
+		if s < 0 || int(s) >= q {
+			return fmt.Errorf("core: census resync: agent %d holds state %d outside [0,%d)", i, s, q)
+		}
+	}
+	for i := range cs.counts {
+		cs.counts[i] = 0
+	}
+	for _, s := range cfg.Mobile {
+		cs.counts[s]++
+	}
+	cs.active = cs.recount()
+	return nil
+}
+
 // Count returns the number of agents in state s.
 func (cs *Census) Count(s State) int { return cs.counts[int(s)] }
 

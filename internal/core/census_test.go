@@ -1,0 +1,72 @@
+package core
+
+import "testing"
+
+// censusProto is a 3-state protocol where only the (0, 1) encounter is
+// non-null, giving the census a clean active-pair signal to track.
+func censusProto() Protocol {
+	return NewRuleTable("census", 3, 3).AddSymmetric(0, 1, 2, 2)
+}
+
+func TestCensusResync(t *testing.T) {
+	pr := censusProto()
+	tab, err := Compile(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfigStates(2, 2, 2, 2)
+	cs, err := NewCensus(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.MobileSilent() {
+		t.Fatal("all-2 configuration must be silent")
+	}
+
+	// Mutate behind the census's back: the stale counters still claim
+	// silence even though (0, 1) is now schedulable and non-null.
+	cfg.Mobile[0], cfg.Mobile[1] = 0, 1
+	if !cs.MobileSilent() {
+		t.Fatal("stale census unexpectedly noticed the external mutation")
+	}
+	if err := cs.Resync(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cs.MobileSilent() {
+		t.Fatal("resynced census still claims silence")
+	}
+	if cs.Count(0) != 1 || cs.Count(1) != 1 || cs.Count(2) != 2 {
+		t.Fatalf("resynced counts wrong: %d/%d/%d", cs.Count(0), cs.Count(1), cs.Count(2))
+	}
+
+	// The resynced census must agree with one built from scratch.
+	fresh, err := NewCensus(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.ActivePairs() != fresh.ActivePairs() {
+		t.Fatalf("active pairs diverge: resync %d vs fresh %d", cs.ActivePairs(), fresh.ActivePairs())
+	}
+}
+
+func TestCensusResyncRejectsBadState(t *testing.T) {
+	pr := censusProto()
+	tab, err := Compile(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfigStates(0, 1)
+	cs, err := NewCensus(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cs.ActivePairs()
+
+	cfg.Mobile[0] = 99 // outside [0, 3)
+	if err := cs.Resync(cfg); err == nil {
+		t.Fatal("Resync accepted an out-of-range state")
+	}
+	if cs.ActivePairs() != before || cs.Count(0) != 1 {
+		t.Fatal("failed Resync modified the census")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"popnaming/internal/core"
+	"popnaming/internal/naming"
+)
+
+// TestStabilizeAllRegistry is the acceptance test of the multi-epoch
+// stabilization experiment: for every arbitrary-init protocol in the
+// registry, a plan injecting a corruption at each detected convergence
+// for three epochs must see every epoch re-converge to a valid naming
+// within budget.
+func TestStabilizeAllRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-protocol fault campaign")
+	}
+	const p = 5
+	results := StabilizeAll(p, StabilizeOptions{
+		Epochs:  3,
+		Trials:  3,
+		Workers: 1,
+		Seed:    7,
+	})
+	wantArbitrary := 0
+	for _, key := range RegistryKeys() {
+		if _, ok := Registry()[key].New(p).(core.ArbitraryInitProtocol); ok {
+			wantArbitrary++
+		}
+	}
+	if len(results) != wantArbitrary {
+		t.Fatalf("StabilizeAll covered %d protocols, want %d (every arbitrary-init protocol)", len(results), wantArbitrary)
+	}
+	for _, res := range results {
+		if len(res.Epochs) != 4 {
+			t.Errorf("%s: got %d epoch stats, want 4 (initial + 3 recoveries)", res.Protocol, len(res.Epochs))
+		}
+		if !res.OK {
+			t.Errorf("%s: stabilization failed: %+v (aborted=%d)", res.Protocol, res.Epochs, res.Aborted)
+		}
+		for _, e := range res.Epochs {
+			if e.Failures > 0 {
+				t.Errorf("%s epoch %d: %d failures", res.Protocol, e.Epoch, e.Failures)
+			}
+		}
+	}
+}
+
+// TestStabilizeDeterministic pins that the experiment is a pure
+// function of its seed.
+func TestStabilizeDeterministic(t *testing.T) {
+	opts := StabilizeOptions{N: 5, Epochs: 2, Trials: 2, Workers: 2, Seed: 11}
+	a := Stabilize("asym", naming.NewAsymmetric(5), opts)
+	b := Stabilize("asym", naming.NewAsymmetric(5), opts)
+	if len(a.Epochs) != len(b.Epochs) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(a.Epochs), len(b.Epochs))
+	}
+	for i := range a.Epochs {
+		if a.Epochs[i] != b.Epochs[i] {
+			t.Errorf("epoch %d differs across identical runs: %+v vs %+v", i, a.Epochs[i], b.Epochs[i])
+		}
+	}
+}
+
+// TestStabilizePlanString pins the plan the default experiment builds.
+func TestStabilizePlanString(t *testing.T) {
+	res := Stabilize("asym", naming.NewAsymmetric(4), StabilizeOptions{Epochs: 2, Trials: 1, Seed: 3})
+	want := "@conv:corrupt=2,@conv:corrupt=2"
+	if res.Plan != want {
+		t.Fatalf("plan = %q, want %q", res.Plan, want)
+	}
+	if !strings.Contains(res.Protocol, "asym") {
+		t.Fatalf("protocol label %q", res.Protocol)
+	}
+}

@@ -29,6 +29,7 @@ func Suite() []SuiteEntry {
 		{"trajectory", "E19", "convergence trajectories"},
 		{"distribution", "E20", "exact convergence-time distributions"},
 		{"oracle", "E21", "constructive proof schedules"},
+		{"stabilize", "E22", "multi-epoch fault injection / re-convergence"},
 	}
 }
 

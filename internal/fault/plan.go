@@ -1,0 +1,226 @@
+// Package fault provides composable, deterministic fault-injection
+// plans for the self-stabilization experiments: a Plan is a seeded
+// schedule of Events (transient state corruption, leader corruption,
+// agent crash, churn, interaction omission) fired at fixed step counts
+// or whenever the runner detects convergence, and an Injector executes
+// the plan against a live configuration while journaling every fired
+// event.
+//
+// The paper's self-stabilizing protocols (Propositions 12, 13, 16) are
+// sold on exactly one operational property: bounded recovery from
+// arbitrary transient faults. A single pre-run corruption exercises
+// only one recovery; a Plan turns the property into a continuously
+// stressable behavior — converge, corrupt, re-converge, for as many
+// epochs as the schedule demands, on the engine's compiled fast path
+// (sim.Runner consults the injector between interactions and rebuilds
+// its incremental census after every mutating event).
+//
+// Plans have a text syntax for the CLIs:
+//
+//	@5000:corrupt=3,@conv:crash=1,@conv:leader=1,@12000:omit=500
+//
+// Each event is "@trigger:kind=arg"; the trigger is either an absolute
+// interaction count or "conv" (fire at the next detected convergence);
+// the kinds are corrupt, leader, crash, churn and omit. An optional
+// leading "seed=N" token folds extra entropy into the injector's RNG.
+// Parse and Plan.String round-trip (FuzzPlanParse pins this).
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the fault types an Event can inject.
+type Kind uint8
+
+const (
+	// Corrupt overwrites the states of Arg distinct randomly chosen
+	// mobile agents with arbitrary states drawn by the protocol's
+	// RandomMobile (a transient memory fault).
+	Corrupt Kind = iota
+	// Leader replaces the leader state with an arbitrary one drawn by
+	// RandomLeader (Arg is ignored and canonicalized to 1).
+	Leader
+	// Crash permanently stops Arg randomly chosen live agents: their
+	// states freeze and every interaction involving them is suppressed
+	// until a Churn event replaces them.
+	Crash
+	// Churn resets Arg randomly chosen agents to the protocol's initial
+	// mobile state (InitMobile when declared, state 0 otherwise),
+	// reviving them if crashed — the population-protocol reading of a
+	// node being replaced by a factory-fresh one.
+	Churn
+	// Omit suppresses the next Arg scheduled interactions: they consume
+	// scheduler draws and count as (null) steps but no transition is
+	// applied — a burst of message loss.
+	Omit
+)
+
+var kindNames = [...]string{"corrupt", "leader", "crash", "churn", "omit"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+func parseKind(s string) (Kind, bool) {
+	for i, name := range kindNames {
+		if s == name {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// ConvStep is the Event.Step value marking a convergence-triggered
+// event: it fires when the runner detects a silent configuration, not
+// at a fixed interaction count.
+const ConvStep int64 = -1
+
+// maxStep bounds step triggers so plan arithmetic cannot overflow.
+const maxStep = int64(1) << 50
+
+// Event is one scheduled fault.
+type Event struct {
+	// Step is the interaction count at which the event fires, or
+	// ConvStep for convergence-triggered events. Step-triggered events
+	// fire before the (Step+1)-th interaction executes.
+	Step int64
+	// Kind selects the fault type.
+	Kind Kind
+	// Arg is the fault magnitude: agents to corrupt/crash/churn, or
+	// interactions to omit. Always >= 1; corrupt/crash/churn clamp to
+	// the population size when fired.
+	Arg int
+}
+
+// String renders the event in plan syntax, e.g. "@5000:corrupt=3".
+func (e Event) String() string {
+	if e.Step == ConvStep {
+		return fmt.Sprintf("@conv:%s=%d", e.Kind, e.Arg)
+	}
+	return fmt.Sprintf("@%d:%s=%d", e.Step, e.Kind, e.Arg)
+}
+
+// Plan is a deterministic schedule of fault events plus an optional
+// seed folded into the injector's RNG (so one plan string fully
+// determines the faults, including victim choices and random states,
+// given the run seed).
+type Plan struct {
+	Seed   int64
+	Events []Event
+}
+
+// Empty reports whether the plan schedules no events.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Conv returns the number of convergence-triggered events — the number
+// of fault epochs the plan injects.
+func (p *Plan) Conv() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range p.Events {
+		if e.Step == ConvStep {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the plan in its canonical text form: the seed token
+// first (only when non-zero), then the events in schedule order,
+// comma-separated. Parse(p.String()) reproduces p exactly.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	if p.Seed != 0 {
+		fmt.Fprintf(&b, "seed=%d", p.Seed)
+	}
+	for _, e := range p.Events {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// Parse parses the fault-plan text syntax. Events are separated by
+// commas, semicolons or whitespace; each is "@trigger:kind" with an
+// optional "=arg" (default 1); "seed=N" may appear once. The empty
+// string parses to an empty plan.
+func Parse(s string) (*Plan, error) {
+	p := &Plan{}
+	seenSeed := false
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ';' || r == ' ' || r == '\t' || r == '\n'
+	})
+	for _, tok := range fields {
+		if v, ok := strings.CutPrefix(tok, "seed="); ok {
+			if seenSeed {
+				return nil, fmt.Errorf("fault: duplicate seed token %q", tok)
+			}
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", tok, err)
+			}
+			p.Seed = seed
+			seenSeed = true
+			continue
+		}
+		ev, err := parseEvent(tok)
+		if err != nil {
+			return nil, err
+		}
+		p.Events = append(p.Events, ev)
+	}
+	return p, nil
+}
+
+func parseEvent(tok string) (Event, error) {
+	body, ok := strings.CutPrefix(tok, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: event %q does not start with '@'", tok)
+	}
+	trigger, rest, ok := strings.Cut(body, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: event %q lacks a ':kind' part", tok)
+	}
+	ev := Event{Arg: 1}
+	if trigger == "conv" {
+		ev.Step = ConvStep
+	} else {
+		step, err := strconv.ParseInt(trigger, 10, 64)
+		if err != nil || step < 0 || step > maxStep {
+			return Event{}, fmt.Errorf("fault: event %q has a bad trigger (want a step count in [0,2^50] or \"conv\")", tok)
+		}
+		ev.Step = step
+	}
+	kindStr, argStr, hasArg := strings.Cut(rest, "=")
+	kind, ok := parseKind(kindStr)
+	if !ok {
+		return Event{}, fmt.Errorf("fault: event %q has unknown kind %q (want corrupt|leader|crash|churn|omit)", tok, kindStr)
+	}
+	ev.Kind = kind
+	if hasArg {
+		arg, err := strconv.Atoi(argStr)
+		if err != nil || arg < 1 || arg > 1<<30 {
+			return Event{}, fmt.Errorf("fault: event %q has a bad argument (want an integer in [1,2^30])", tok)
+		}
+		ev.Arg = arg
+	}
+	if kind == Leader {
+		// The leader is a single agent; canonicalize so String
+		// round-trips regardless of the written argument.
+		ev.Arg = 1
+	}
+	return ev, nil
+}

@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	p, err := Parse("@5000:corrupt=3,@conv:crash=1,@conv:leader,@12000:omit=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Step: 5000, Kind: Corrupt, Arg: 3},
+		{Step: ConvStep, Kind: Crash, Arg: 1},
+		{Step: ConvStep, Kind: Leader, Arg: 1},
+		{Step: 12000, Kind: Omit, Arg: 500},
+	}
+	if len(p.Events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(p.Events), len(want))
+	}
+	for i, ev := range p.Events {
+		if ev != want[i] {
+			t.Errorf("event %d: got %v, want %v", i, ev, want[i])
+		}
+	}
+	if p.Seed != 0 {
+		t.Errorf("seed = %d, want 0", p.Seed)
+	}
+}
+
+func TestParseSeparatorsAndSeed(t *testing.T) {
+	p, err := Parse("seed=42 @0:churn=2; @conv:corrupt=1\n@9:omit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Events) != 3 {
+		t.Fatalf("seed %d, %d events", p.Seed, len(p.Events))
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	p, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() || p.String() != "" {
+		t.Fatalf("empty string parsed to %q", p.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"corrupt=3",             // missing @trigger:
+		"@5000corrupt",          // missing colon
+		"@x:corrupt",            // bad trigger
+		"@-3:corrupt",           // negative step
+		"@conv:melt",            // unknown kind
+		"@conv:corrupt=0",       // arg below 1
+		"@conv:corrupt=-2",      // negative arg
+		"@conv:corrupt=many",    // non-integer arg
+		"seed=1,seed=2,@0:omit", // duplicate seed
+		"seed=zzz",              // bad seed
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLeaderArgCanonicalized(t *testing.T) {
+	p, err := Parse("@conv:leader=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Events[0].Arg != 1 {
+		t.Fatalf("leader arg = %d, want 1", p.Events[0].Arg)
+	}
+	if s := p.String(); s != "@conv:leader=1" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestPlanConv(t *testing.T) {
+	p, err := Parse("@conv:corrupt=2,@100:omit=3,@conv:crash=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Conv() != 2 {
+		t.Fatalf("Conv() = %d, want 2", p.Conv())
+	}
+	var nilPlan *Plan
+	if nilPlan.Conv() != 0 || !nilPlan.Empty() || nilPlan.String() != "" {
+		t.Fatal("nil plan accessors")
+	}
+}
+
+func TestPlanStringRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"@5000:corrupt=3",
+		"@conv:crash=1",
+		"seed=9,@0:churn=4,@conv:leader=1,@1125899906842624:omit=1073741824",
+	} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("String(Parse(%q)) = %q", s, got)
+		}
+	}
+}
+
+// FuzzPlanParse pins the round-trip oracle: any input Parse accepts must
+// re-parse from its canonical String form to the same plan, and String
+// must be a fixed point (String(Parse(String(p))) == String(p)).
+func FuzzPlanParse(f *testing.F) {
+	f.Add("@5000:corrupt=3,@conv:crash=1")
+	f.Add("seed=42,@0:churn=2,@conv:leader=1")
+	f.Add("@conv:corrupt")
+	f.Add("@12000:omit=500 @13000:omit")
+	f.Add("seed=-1;@1:crash=3")
+	f.Add("")
+	f.Add("@1125899906842624:omit=1073741824")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if p2.Seed != p.Seed || len(p2.Events) != len(p.Events) {
+			t.Fatalf("round trip changed plan: %q -> %q (%+v vs %+v)", s, canon, p, p2)
+		}
+		for i := range p.Events {
+			if p.Events[i] != p2.Events[i] {
+				t.Fatalf("round trip changed event %d: %v vs %v", i, p.Events[i], p2.Events[i])
+			}
+		}
+		if again := p2.String(); again != canon {
+			t.Fatalf("String not a fixed point: %q vs %q", canon, again)
+		}
+		// Canonical form never contains the alternate separators.
+		if strings.ContainsAny(canon, "; \t\n") {
+			t.Fatalf("canonical form %q uses non-canonical separators", canon)
+		}
+	})
+}

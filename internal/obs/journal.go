@@ -169,6 +169,10 @@ type Summary struct {
 	// broken by rule text, so the order is deterministic).
 	Rules []RuleCount `json:"rules,omitempty"`
 
+	// Forced counts the interactions a fairness-enforcing adversary was
+	// forced to schedule (adversary.Runner); zero for scheduler runs.
+	Forced int64 `json:"forced,omitempty"`
+
 	ElapsedNS int64 `json:"elapsedNs"`
 }
 
@@ -180,8 +184,12 @@ type BatchSummaryRec struct {
 	V    int    `json:"v"`
 	Type string `json:"type"`
 
-	Trials       int          `json:"trials"`
-	Converged    int          `json:"converged"`
+	Trials    int `json:"trials"`
+	Converged int `json:"converged"`
+	// Aborted and Retried count supervised trials cut short resp.
+	// completed after a stall retry (absent for unsupervised batches).
+	Aborted      int          `json:"aborted,omitempty"`
+	Retried      int          `json:"retried,omitempty"`
 	TotalSteps   int64        `json:"totalSteps"`
 	TotalNonNull int64        `json:"totalNonNull"`
 	StepsHist    []HistBucket `json:"stepsToConverge,omitempty"`
@@ -191,17 +199,43 @@ type BatchSummaryRec struct {
 	Utilization float64 `json:"utilization"`
 }
 
+// FaultRec journals one fault-layer event: an injected fault fired by a
+// fault.Injector (Kind corrupt/leader/crash/churn/omit, Trigger "step"
+// or "conv"), a supervisor retry (Kind "retry", Trigger "stall"), or a
+// supervisor abort (Kind "abort", Trigger "stall"/"deadline"/
+// "interrupt"). Step is the interaction count at which the event fired;
+// Attempt numbers supervisor attempts from zero.
+type FaultRec struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+
+	Trial   int    `json:"trial,omitempty"`
+	Step    int64  `json:"step"`
+	Kind    string `json:"kind"`
+	Arg     int    `json:"arg,omitempty"`
+	Trigger string `json:"trigger"`
+	Attempt int    `json:"attempt,omitempty"`
+}
+
+// NewFaultRec returns a fault-event record.
+func NewFaultRec(trial int, step int64, kind string, arg int, trigger string) FaultRec {
+	return FaultRec{V: Version, Type: "fault", Trial: trial, Step: step, Kind: kind, Arg: arg, Trigger: trigger}
+}
+
 // ExperimentRec times one tagged experiment of the reproduction suite
 // (WallNS is the wall-clock field).
 type ExperimentRec struct {
 	V    int    `json:"v"`
 	Type string `json:"type"`
 
-	Key    string `json:"key"`
-	Tag    string `json:"tag,omitempty"`
-	OK     bool   `json:"ok"`
-	Detail string `json:"detail,omitempty"`
-	WallNS int64  `json:"wallNs"`
+	Key string `json:"key"`
+	Tag string `json:"tag,omitempty"`
+	OK  bool   `json:"ok"`
+	// Skipped marks an experiment that never ran (the suite driver was
+	// interrupted before reaching it); OK is false but meaningless.
+	Skipped bool   `json:"skipped,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	WallNS  int64  `json:"wallNs"`
 }
 
 // NewExperimentRec returns a timed experiment record.

@@ -56,6 +56,8 @@ type Observer struct {
 
 	quietHist Histogram
 
+	forced int64
+
 	pairTrack bool
 	lastSeen  []int64
 	pairsSeen int
@@ -100,6 +102,12 @@ func (o *Observer) NonNull() uint64 { return o.nonNull.Value() }
 // QuietStreaks returns the histogram of completed all-null streak
 // lengths (Finish flushes the trailing streak).
 func (o *Observer) QuietStreaks() *Histogram { return &o.quietHist }
+
+// SetForced records the number of interactions a fairness-enforcing
+// adversary was forced to schedule, surfaced in the summary record so
+// adversarial runs are auditable like scheduler runs. Call it before
+// Finish.
+func (o *Observer) SetForced(n int64) { o.forced = n }
 
 // CompileRules switches mobile per-rule accounting to a dense counter
 // array keyed by tab's flat table index, removing the map operation
@@ -313,6 +321,7 @@ func (o *Observer) summary(converged bool) Summary {
 		PairsTotal:   o.pairsTotal(),
 		FairnessGap:  o.FairnessGap(),
 		Rules:        o.RuleCounts(),
+		Forced:       o.forced,
 		ElapsedNS:    time.Since(o.start).Nanoseconds(),
 	}
 }

@@ -6,23 +6,35 @@ import (
 	"time"
 
 	"popnaming/internal/core"
+	"popnaming/internal/fault"
 	"popnaming/internal/obs"
 	"popnaming/internal/sched"
 )
 
 // Trial describes one independent execution of a batch: its starting
-// configuration and scheduler. Batches share one Protocol value across
-// goroutines, which is safe because protocols are immutable and their
-// transition functions are pure.
+// configuration, scheduler and optional fault injector. Batches share
+// one Protocol value across goroutines, which is safe because protocols
+// are immutable and their transition functions are pure.
 type Trial struct {
 	Cfg   *core.Config
 	Sched sched.Scheduler
+	// Inject, when non-nil, is installed as the trial runner's fault
+	// injector. Injectors are single-use: supervised batches call
+	// mkTrial once per attempt and expect a fresh one each time.
+	Inject *fault.Injector
 }
 
 // BatchResult pairs a trial index with its outcome.
 type BatchResult struct {
 	Trial  int
 	Result Result
+	// Status, Attempts and Reason carry the supervision outcome (see
+	// SupervisedResult); plain RunBatch trials always report TrialOK
+	// with one attempt. A trial whose batch deadline or interrupt hit
+	// before it started is TrialAborted with a zero Result (nil Final).
+	Status   TrialStatus
+	Attempts int
+	Reason   string
 }
 
 // BatchObs configures observability for a batch run.
@@ -46,6 +58,11 @@ type BatchSummary struct {
 	// silence within budget.
 	Trials    int
 	Converged int
+	// Aborted and Retried count trials cut short by supervision and
+	// trials that completed only after a stall retry (both zero for
+	// unsupervised batches).
+	Aborted int
+	Retried int
 	// TotalSteps and TotalNonNull sum the interaction counts of all
 	// trials.
 	TotalSteps   int64
@@ -68,6 +85,8 @@ func (s *BatchSummary) Record() obs.BatchSummaryRec {
 		Type:         "batch_summary",
 		Trials:       s.Trials,
 		Converged:    s.Converged,
+		Aborted:      s.Aborted,
+		Retried:      s.Retried,
 		TotalSteps:   s.TotalSteps,
 		TotalNonNull: s.TotalNonNull,
 		StepsHist:    s.StepsToConverge.Buckets(),
@@ -91,7 +110,27 @@ func RunBatch(pr core.Protocol, trials, budget, workers int, mkTrial func(trial 
 // the merged batch summary — wall clock, worker utilization and the
 // convergence-step histogram — is returned and journaled. With a zero
 // BatchObs it degrades to exactly RunBatch's unobserved fast path.
+//
+// It is the unsupervised special case of RunBatchSupervised: one
+// attempt per trial, the whole budget in one slice, no deadline — so
+// results are step-for-step what a bare Runner.Run(budget) per trial
+// produces.
 func RunBatchObserved(pr core.Protocol, trials, budget, workers int, bo BatchObs, mkTrial func(trial int) Trial) BatchSummary {
+	sup := Supervision{StepBudget: budget, Slice: budget}
+	return RunBatchSupervised(pr, trials, workers, sup, bo, func(trial, attempt int) Trial {
+		return mkTrial(trial)
+	})
+}
+
+// RunBatchSupervised executes independent supervised trials
+// concurrently: each trial runs under sup (step budget, stall retry,
+// interrupt) with the deadline interpreted batch-wide — one instant,
+// computed at entry, bounds every trial, and trials claimed after it
+// passes are tagged TrialAborted without running. mkTrial is called
+// once per attempt (fresh configuration, scheduler and injector each
+// time; derive per-attempt seeds with DeriveSeed); trial injectors are
+// wired to the batch sink and their trial index before the run starts.
+func RunBatchSupervised(pr core.Protocol, trials, workers int, sup Supervision, bo BatchObs, mkTrial func(trial, attempt int) Trial) BatchSummary {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -105,6 +144,10 @@ func RunBatchObserved(pr core.Protocol, trials, budget, workers int, bo BatchObs
 	var tab *core.Compiled
 	if pr.States() <= maxCompiledStates {
 		tab, _ = core.Compile(pr)
+	}
+	var deadlineAt time.Time
+	if sup.Deadline > 0 {
+		deadlineAt = time.Now().Add(sup.Deadline)
 	}
 	out := make([]BatchResult, trials)
 	busy := make([]int64, workers)
@@ -124,21 +167,47 @@ func RunBatchObserved(pr core.Protocol, trials, budget, workers int, bo BatchObs
 				if i >= trials {
 					return
 				}
+				// Graceful degradation: past the batch deadline (or
+				// after an interrupt) the remaining trials are tagged
+				// instead of run, so the batch returns promptly with
+				// partial results.
+				if sup.Interrupt != nil && sup.Interrupt() {
+					out[i] = BatchResult{Trial: i, Status: TrialAborted, Reason: "interrupt"}
+					continue
+				}
+				if !deadlineAt.IsZero() && !time.Now().Before(deadlineAt) {
+					out[i] = BatchResult{Trial: i, Status: TrialAborted, Reason: "deadline"}
+					continue
+				}
 				t0 := time.Now()
-				t := mkTrial(i)
-				run := NewRunner(pr, t.Sched, t.Cfg)
+				tsup := sup
+				tsup.Trial = i
 				if bo.Sink != nil {
-					run.Obs = obs.NewObserver(t.Cfg.N(), withLeader, obs.ObserverOptions{
-						Sink:          bo.Sink,
-						ProgressEvery: bo.ProgressEvery,
-						Trial:         i,
-					})
+					tsup.Sink = bo.Sink
 				}
-				if tab != nil {
-					run.UseCompiled(tab)
-				}
-				res := run.Run(budget)
-				out[i] = BatchResult{Trial: i, Result: res}
+				sr := superviseUntil(tsup, deadlineAt, func(attempt int) *Runner {
+					t := mkTrial(i, attempt)
+					run := NewRunner(pr, t.Sched, t.Cfg)
+					if t.Inject != nil {
+						t.Inject.Trial = i
+						if bo.Sink != nil {
+							t.Inject.Sink = bo.Sink
+						}
+						run.Inject = t.Inject
+					}
+					if bo.Sink != nil {
+						run.Obs = obs.NewObserver(t.Cfg.N(), withLeader, obs.ObserverOptions{
+							Sink:          bo.Sink,
+							ProgressEvery: bo.ProgressEvery,
+							Trial:         i,
+						})
+					}
+					if tab != nil {
+						run.UseCompiled(tab)
+					}
+					return run
+				})
+				out[i] = BatchResult{Trial: i, Result: sr.Result, Status: sr.Status, Attempts: sr.Attempts, Reason: sr.Reason}
 				busy[w] += time.Since(t0).Nanoseconds()
 			}
 		}(w)
@@ -157,6 +226,12 @@ func RunBatchObserved(pr core.Protocol, trials, budget, workers int, bo BatchObs
 		if br.Result.Converged {
 			sum.Converged++
 			sum.StepsToConverge.Observe(int64(br.Result.Steps))
+		}
+		switch br.Status {
+		case TrialAborted:
+			sum.Aborted++
+		case TrialRetried:
+			sum.Retried++
 		}
 	}
 	var totalBusy int64

@@ -1,0 +1,98 @@
+package sim_test
+
+import (
+	"testing"
+
+	"popnaming/internal/core"
+	"popnaming/internal/experiments"
+	"popnaming/internal/fault"
+	"popnaming/internal/sched"
+	"popnaming/internal/sim"
+)
+
+// TestEmptyPlanMatchesNilInjector pins the fault layer's zero-cost
+// contract: attaching an injector with an empty plan must leave every
+// registry protocol's run byte-identical to the nil-injector fast path —
+// same step counts, same non-null counts, same final configuration.
+func TestEmptyPlanMatchesNilInjector(t *testing.T) {
+	const seed, budget = 90210, 400000
+	for _, key := range experiments.RegistryKeys() {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			pr, n := diffCase(t, key)
+			withLeader := core.HasLeader(pr)
+
+			plain := sim.NewRunner(pr, sched.NewRandom(n, withLeader, seed), diffStart(pr, n, seed))
+			injected := sim.NewRunner(pr, sched.NewRandom(n, withLeader, seed), diffStart(pr, n, seed))
+			inj, err := fault.NewInjector(&fault.Plan{}, pr, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			injected.Inject = inj
+
+			got := injected.Run(budget)
+			want := plain.Run(budget)
+			if got.Converged != want.Converged || got.Steps != want.Steps || got.NonNull != want.NonNull {
+				t.Fatalf("empty plan changed the run:\n  injected %v\n  plain    %v", got, want)
+			}
+			if !sameConfig(got.Final, want.Final) {
+				t.Fatalf("empty plan changed the final configuration:\n  injected %v\n  plain    %v", got.Final, want.Final)
+			}
+			if len(inj.Fired()) != 0 {
+				t.Fatalf("empty plan fired %d events", len(inj.Fired()))
+			}
+		})
+	}
+}
+
+// TestFaultRunMatchesInterpretedFaultRun drives the same non-empty plan
+// through the compiled and interpreted engines and demands identical
+// outcomes: fault handling must be engine-independent.
+func TestFaultRunMatchesInterpretedFaultRun(t *testing.T) {
+	const seed, budget = 777, 4_000_000
+	for _, key := range experiments.RegistryKeys() {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			pr, n := diffCase(t, key)
+			if _, ok := pr.(core.ArbitraryInitProtocol); !ok {
+				t.Skip("corrupt events need RandomMobile")
+			}
+			withLeader := core.HasLeader(pr)
+			plan := mustParse(t, "@1000:omit=50,@conv:corrupt=2")
+
+			mk := func(interpret bool) (*sim.Runner, *fault.Injector) {
+				r := sim.NewRunner(pr, sched.NewRandom(n, withLeader, seed), diffStart(pr, n, seed))
+				r.Interpret = interpret
+				inj, err := fault.NewInjector(plan, pr, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Inject = inj
+				return r, inj
+			}
+			comp, compInj := mk(false)
+			interp, interpInj := mk(true)
+
+			got := comp.Run(budget)
+			want := interp.Run(budget)
+			if got.Converged != want.Converged || got.Steps != want.Steps || got.NonNull != want.NonNull {
+				t.Fatalf("fault runs diverged:\n  compiled    %v\n  interpreted %v", got, want)
+			}
+			if !sameConfig(got.Final, want.Final) {
+				t.Fatal("fault runs reached different final configurations")
+			}
+			if len(compInj.Fired()) != len(interpInj.Fired()) {
+				t.Fatalf("fired %d vs %d events", len(compInj.Fired()), len(interpInj.Fired()))
+			}
+		})
+	}
+}
+
+func mustParse(t *testing.T, s string) *fault.Plan {
+	t.Helper()
+	p, err := fault.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"popnaming/internal/core"
+	"popnaming/internal/fault"
 	"popnaming/internal/obs"
 	"popnaming/internal/sched"
 	"popnaming/internal/trace"
@@ -97,6 +98,19 @@ type Runner struct {
 	// compiled engine. The differential tests use it to prove the two
 	// paths equivalent; set it before the first Step or Run.
 	Interpret bool
+
+	// Inject, when non-nil, is a fault injector Run consults between
+	// interactions: step-triggered events fire before the interaction
+	// that crosses their step count, convergence-triggered events fire
+	// when a silence check succeeds, and the runner resyncs its census
+	// after every mutating event. Silence is only terminal once every
+	// plan event has fired — a silent population still interacts
+	// (nullly), so the run idles toward pending step triggers, and a
+	// budget-exhausted run reports Converged only if it is silent with
+	// the plan exhausted. Run with a nil Inject is unchanged — one
+	// pointer test per run, zero cost per step. The manual Step API
+	// does not consult the injector.
+	Inject *fault.Injector
 
 	steps   int
 	nonNull int
@@ -305,6 +319,9 @@ func (r *Runner) Run(maxSteps int) Result {
 
 func (r *Runner) run(maxSteps int) Result {
 	r.ensureEngine()
+	if r.Inject != nil {
+		return r.runFault(maxSteps)
+	}
 	if r.silent() {
 		return Result{Converged: true, Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
 	}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"popnaming/internal/obs"
+)
+
+// DefaultStepBudget is the per-trial interaction budget when a
+// Supervision leaves StepBudget zero.
+const DefaultStepBudget = 50_000_000
+
+// DefaultSlice is the supervision granularity when a Supervision leaves
+// Slice zero: the runner executes this many interactions between
+// deadline/interrupt/stall checks.
+const DefaultSlice = 1 << 15
+
+// TrialStatus classifies how a supervised trial ended.
+type TrialStatus uint8
+
+const (
+	// TrialOK: the first attempt completed normally (converged, or ran
+	// its full step budget without stalling).
+	TrialOK TrialStatus = iota
+	// TrialRetried: an attempt completed normally after at least one
+	// stall-triggered retry.
+	TrialRetried
+	// TrialAborted: the trial was cut short — wall-clock deadline,
+	// interrupt, or a stall with no retries left — and its Result is
+	// partial.
+	TrialAborted
+)
+
+var statusNames = [...]string{"ok", "retried", "aborted"}
+
+func (s TrialStatus) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("TrialStatus(%d)", uint8(s))
+}
+
+// Supervision bounds one trial (or every trial of a batch): a step
+// budget, an optional wall-clock deadline, quiet-streak stall detection
+// with bounded retry, and a cooperative interrupt. The zero value
+// supervises with defaults only (DefaultStepBudget, DefaultSlice, no
+// deadline, no stall detection, no retries).
+type Supervision struct {
+	// StepBudget is the per-attempt interaction budget (0 selects
+	// DefaultStepBudget). An attempt that runs its full budget without
+	// converging completes normally with Converged false.
+	StepBudget int
+	// Deadline is the wall-clock bound for the whole trial, retries
+	// included (0: none). For a batch it bounds the whole batch.
+	Deadline time.Duration
+	// StallQuiet, when positive, declares an attempt stalled once its
+	// quiet streak (consecutive null interactions without reaching
+	// silence) reaches this length — the signature of a crashed-agent
+	// lockout or a pathological schedule. Stalled attempts are retried
+	// while Retries allows, then aborted.
+	StallQuiet int
+	// Retries is the number of fresh attempts (rebuilt runner, derived
+	// seed) allowed after a stall.
+	Retries int
+	// Slice is the number of interactions run between supervision
+	// checks (0 selects DefaultSlice). It is part of the run's
+	// determinism contract: silence is also checked at every slice
+	// boundary, so the same seed with a different Slice may converge at
+	// a different step count.
+	Slice int
+	// Interrupt, when non-nil, is polled between slices; returning true
+	// aborts the trial with its partial result (the SIGINT path).
+	Interrupt func() bool
+	// Sink, when non-nil, receives a v1 "fault" record for every retry
+	// and abort (kinds "retry"/"abort").
+	Sink obs.Sink
+	// Trial tags emitted records with a batch trial index.
+	Trial int
+}
+
+func (sup *Supervision) stepBudget() int {
+	if sup.StepBudget > 0 {
+		return sup.StepBudget
+	}
+	return DefaultStepBudget
+}
+
+func (sup *Supervision) slice() int {
+	if sup.Slice > 0 {
+		return sup.Slice
+	}
+	return DefaultSlice
+}
+
+// SupervisedResult is a trial Result plus its supervision outcome.
+type SupervisedResult struct {
+	Result
+	// Status classifies the outcome; on TrialAborted the Result is
+	// partial (the state when supervision cut the run short).
+	Status TrialStatus
+	// Attempts counts runner attempts, so 1 + the retries consumed.
+	Attempts int
+	// Reason is empty for normal completion and "stall", "deadline" or
+	// "interrupt" for aborts.
+	Reason string
+	// WallNS is the trial's wall-clock time, retries included.
+	WallNS int64
+}
+
+// DeriveSeed derives a per-trial, per-attempt seed from a base seed by
+// splitmix64 mixing, so retries explore fresh randomness while staying
+// reproducible from (base, trial, attempt).
+func DeriveSeed(base int64, trial, attempt int) int64 {
+	z := smix(uint64(base))
+	z = smix(z ^ uint64(trial)*0x9e3779b97f4a7c15)
+	z = smix(z ^ uint64(attempt)*0xbf58476d1ce4e5b9)
+	return int64(z)
+}
+
+// smix is the splitmix64 finalizer.
+func smix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Supervise runs one trial under supervision. mk builds the runner for
+// each attempt (attempt 0 first; stall retries call it again with the
+// next attempt number — derive seeds with DeriveSeed so attempts
+// differ). Supervise finishes each attempt's Obs, when one is attached,
+// before returning or retrying.
+func Supervise(sup Supervision, mk func(attempt int) *Runner) SupervisedResult {
+	var deadlineAt time.Time
+	if sup.Deadline > 0 {
+		deadlineAt = time.Now().Add(sup.Deadline)
+	}
+	return superviseUntil(sup, deadlineAt, mk)
+}
+
+// superviseUntil is Supervise against an absolute deadline instant, so
+// a batch can impose one shared deadline across all its trials.
+func superviseUntil(sup Supervision, deadlineAt time.Time, mk func(attempt int) *Runner) SupervisedResult {
+	start := time.Now()
+	budget := sup.stepBudget()
+	slice := sup.slice()
+	for attempt := 0; ; attempt++ {
+		r := mk(attempt)
+		res := Result{Final: r.Cfg}
+		reason := ""
+		stalled := false
+		for {
+			if sup.Interrupt != nil && sup.Interrupt() {
+				reason = "interrupt"
+			} else if !deadlineAt.IsZero() && !time.Now().Before(deadlineAt) {
+				reason = "deadline"
+			}
+			if reason != "" {
+				res = Result{Steps: r.steps, NonNull: r.nonNull, Final: r.Cfg}
+				break
+			}
+			bound := r.steps + slice
+			if bound > budget {
+				bound = budget
+			}
+			res = r.run(bound)
+			if res.Converged || r.steps >= budget {
+				break
+			}
+			if sup.StallQuiet > 0 && r.quiet >= sup.StallQuiet {
+				stalled = true
+				break
+			}
+		}
+		if r.Obs != nil {
+			r.Obs.Finish(res.Converged)
+		}
+		wall := time.Since(start).Nanoseconds()
+		switch {
+		case reason != "":
+			sup.emit("abort", reason, attempt, r)
+			return SupervisedResult{Result: res, Status: TrialAborted, Attempts: attempt + 1, Reason: reason, WallNS: wall}
+		case stalled && attempt < sup.Retries:
+			sup.emit("retry", "stall", attempt+1, r)
+			continue
+		case stalled:
+			sup.emit("abort", "stall", attempt, r)
+			return SupervisedResult{Result: res, Status: TrialAborted, Attempts: attempt + 1, Reason: "stall", WallNS: wall}
+		case attempt > 0:
+			return SupervisedResult{Result: res, Status: TrialRetried, Attempts: attempt + 1, WallNS: wall}
+		default:
+			return SupervisedResult{Result: res, Status: TrialOK, Attempts: 1, WallNS: wall}
+		}
+	}
+}
+
+// emit journals a supervision event ("retry"/"abort") as a fault
+// record.
+func (sup *Supervision) emit(kind, trigger string, attempt int, r *Runner) {
+	if sup.Sink == nil {
+		return
+	}
+	rec := obs.NewFaultRec(sup.Trial, int64(r.steps), kind, 0, trigger)
+	rec.Attempt = attempt
+	_ = sup.Sink.Emit(rec)
+}
