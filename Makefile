@@ -13,10 +13,14 @@ SEARCH_BENCH = BenchmarkSymmetricNaming|BenchmarkBuildLarge|BenchmarkGraphNodeID
 # (see docs/robustness.md and EXPERIMENTS.md).
 FAULT_BENCH = BenchmarkRunnerNilInjector|BenchmarkRunnerEmptyInjector|BenchmarkRunnerCrashSuppression|BenchmarkE22Stabilize
 
-.PHONY: check vet build test race race-search race-fault fmt fuzzbuild bench bench-engine bench-search bench-fault
+# Service closed-loop load benchmark gating the ppserved latency and
+# throughput numbers (see docs/service.md and EXPERIMENTS.md).
+SERVE_BENCH = BenchmarkServeLoad
+
+.PHONY: check vet build test race race-search race-fault race-serve fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve serve
 
 # check is the single entry point: everything CI (or a reviewer) needs.
-check: vet build race race-search race-fault fmt fuzzbuild
+check: vet build race race-search race-fault race-serve fmt fuzzbuild
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +45,16 @@ race-search:
 # sinks and injector wiring across worker goroutines.
 race-fault:
 	$(GO) test -race -count=1 ./internal/fault ./internal/sim ./internal/experiments
+
+# race-serve re-runs the service and the observability layer under the
+# race detector with caching disabled: the service scrapes live
+# observers and shares job buffers between workers and HTTP streams.
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve ./internal/obs
+
+# serve runs the simulation service locally on :8080.
+serve:
+	$(GO) run ./cmd/ppserved -addr :8080
 
 # fmt fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -76,3 +90,10 @@ bench-search:
 bench-fault:
 	$(GO) test -json -run='^$$' -bench='$(FAULT_BENCH)' -benchmem -count=3 . ./internal/sim > BENCH_PR4.json
 	@echo "wrote BENCH_PR4.json ($$(wc -l < BENCH_PR4.json) events)"
+
+# bench-serve runs the service load benchmark (closed loop at 1/8/64
+# clients over httptest) and writes the go-test JSON stream to
+# BENCH_PR5.json.
+bench-serve:
+	$(GO) test -json -run='^$$' -bench='$(SERVE_BENCH)' -benchmem -count=3 ./internal/serve > BENCH_PR5.json
+	@echo "wrote BENCH_PR5.json ($$(wc -l < BENCH_PR5.json) events)"

@@ -42,6 +42,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -153,7 +154,13 @@ func main() {
 	if *faults != "" {
 		pl, perr := fault.Parse(*faults)
 		if perr != nil {
-			fmt.Fprintln(os.Stderr, "experiments: -faults:", perr)
+			var pe *fault.ParseError
+			if errors.As(perr, &pe) {
+				fmt.Fprintf(os.Stderr, "experiments: -faults: bad %s at offset %d: token %q: %s\n",
+					pe.Kind, pe.Offset, pe.Token, pe.Reason)
+			} else {
+				fmt.Fprintln(os.Stderr, "experiments: -faults:", perr)
+			}
 			os.Exit(2)
 		}
 		faultPlan = pl

@@ -32,6 +32,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -64,6 +66,7 @@ type options struct {
 	hidden   int
 	hide     int
 	faults   string
+	plan     *fault.Plan
 	deadline time.Duration
 	retries  int
 	stall    int
@@ -119,6 +122,19 @@ func main() {
 		journal: *journal, metrics: *metrics, progress: *progress, pprof: *pprofPfx,
 	}
 	o.seed, o.derived = obs.ResolveSeed(*seed)
+	// Reject a malformed -faults plan at flag-parse time, before any
+	// protocol or journal setup, with the parser's structured location.
+	var perr error
+	if o.plan, perr = fault.Parse(o.faults); perr != nil {
+		var pe *fault.ParseError
+		if errors.As(perr, &pe) {
+			fmt.Fprintf(os.Stderr, "namesim: -faults: bad %s at offset %d: token %q: %s\n",
+				pe.Kind, pe.Offset, pe.Token, pe.Reason)
+		} else {
+			fmt.Fprintln(os.Stderr, "namesim: -faults:", perr)
+		}
+		os.Exit(2)
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "namesim:", err)
 		os.Exit(1)
@@ -246,10 +262,7 @@ func run(o options) (err error) {
 // and deadline/stall exhaustion yields a partial result tagged aborted
 // instead of a hang.
 func runSupervised(proto core.Protocol, o options, sink *obs.JournalSink) error {
-	plan, err := fault.Parse(o.faults)
-	if err != nil {
-		return err
-	}
+	plan := o.plan // parsed (and rejected if malformed) at flag-parse time
 	// Validate plan capabilities and the init/scheduler keys once, so
 	// the per-attempt builder below cannot fail.
 	if _, err := fault.NewInjector(plan, proto, o.seed); err != nil {
@@ -301,7 +314,7 @@ func runSupervised(proto core.Protocol, o options, sink *obs.JournalSink) error 
 	var observer *obs.Observer
 	var finalCfg *core.Config
 	var col *trace.Collector
-	sr := sim.Supervise(sup, func(attempt int) *sim.Runner {
+	sr := sim.Supervise(context.Background(), sup, func(attempt int) *sim.Runner {
 		seed := o.seed
 		if attempt > 0 {
 			seed = sim.DeriveSeed(o.seed, 0, attempt)

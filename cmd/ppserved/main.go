@@ -1,0 +1,120 @@
+// Command ppserved is the long-running simulation service: an HTTP
+// server exposing the engine and experiment harness as a job queue
+// with streaming NDJSON results and live metrics (see docs/service.md
+// for the API).
+//
+// Usage:
+//
+//	ppserved -addr :8080 -workers 4 -queue 64
+//	ppserved -addr 127.0.0.1:0 -journal service.jsonl -grace 30s
+//
+// Endpoints: POST /v1/jobs submits a job (kinds sim, batch, campaign,
+// table1); GET /v1/jobs lists jobs; GET /v1/jobs/{id} shows one;
+// GET /v1/jobs/{id}/results streams the result records; POST
+// /v1/jobs/{id}/cancel cancels; GET /metrics renders the service and
+// simulation metric tables; GET /healthz reports liveness.
+//
+// Shutdown: on SIGTERM or SIGINT the server stops admitting jobs
+// (503), finishes the queued and running ones within -grace, then
+// escalates to cooperative cancellation — partial results are
+// streamed and journaled — flushes the journal and exits 0. A second
+// signal cancels the grace period immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"popnaming/internal/obs"
+	"popnaming/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers = flag.Int("workers", 0, "job worker pool size (0: GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "job queue capacity (beyond it submissions get 429)")
+		journal = flag.String("journal", "", "write the service journal (JSONL job records) to this file")
+		grace   = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight jobs are canceled")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *journal, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "ppserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, journal string, grace time.Duration) error {
+	cfg := serve.Config{Workers: workers, QueueCap: queue}
+	var closeJournal func() error
+	if journal != "" {
+		sink, closeFn, err := obs.OpenJournal(journal)
+		if err != nil {
+			return err
+		}
+		cfg.Sink = sink
+		closeJournal = closeFn
+	}
+	srv := serve.New(cfg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("ppserved: listening on %s (workers %d, queue %d)\n",
+		ln.Addr(), effectiveWorkers(workers), queue)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("ppserved: %v: draining (grace %v)\n", sig, grace)
+	case err := <-serveErr:
+		return err
+	}
+
+	// Drain with the grace period; a second signal cancels it. The
+	// HTTP listener stays up during the drain so streaming clients
+	// finish reading and late submissions get a clean 503.
+	graceCtx, cancelGrace := context.WithTimeout(context.Background(), grace)
+	defer cancelGrace()
+	go func() {
+		<-sigs
+		fmt.Println("ppserved: second signal: canceling in-flight jobs")
+		cancelGrace()
+	}()
+	srv.Drain(graceCtx)
+
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	_ = httpSrv.Shutdown(shutdownCtx)
+
+	if closeJournal != nil {
+		if err := closeJournal(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	fmt.Println("ppserved: drained, exiting")
+	return nil
+}
+
+// effectiveWorkers mirrors serve.New's worker default for the startup
+// line.
+func effectiveWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}

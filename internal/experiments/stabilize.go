@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -177,7 +178,7 @@ func StabilizePlan(name string, pr core.ArbitraryInitProtocol, plan *fault.Plan,
 		Interrupt:  opts.Interrupt,
 	}
 	bo := sim.BatchObs{Sink: opts.Sink}
-	sum := sim.RunBatchSupervised(pr, opts.Trials, opts.Workers, sup, bo, func(trial, attempt int) sim.Trial {
+	sum := sim.RunBatchSupervised(context.Background(), pr, opts.Trials, opts.Workers, sup, bo, func(trial, attempt int) sim.Trial {
 		seed := sim.DeriveSeed(opts.Seed, trial, attempt)
 		rng := rand.New(rand.NewSource(seed))
 		cfg := sim.ArbitraryConfig(pr, opts.N, rng)

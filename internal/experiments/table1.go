@@ -63,6 +63,10 @@ type Table1Options struct {
 	// order with WallNS filled — the progress hook the journaling
 	// CLIs use to report and time cells as they finish.
 	OnCell func(i int, c Cell)
+	// Interrupt, when non-nil, is polled between cells; returning true
+	// skips the remaining cells so a canceled job returns the cells
+	// completed so far (the ppserved cancellation path).
+	Interrupt func() bool
 }
 
 func (o *Table1Options) fill() {
@@ -99,6 +103,9 @@ func Table1(opts Table1Options) []Cell {
 	}
 	cells := make([]Cell, 0, len(builders))
 	for i, build := range builders {
+		if opts.Interrupt != nil && opts.Interrupt() {
+			break
+		}
 		start := time.Now()
 		c := build(opts)
 		c.WallNS = time.Since(start).Nanoseconds()

@@ -153,46 +153,94 @@ func (p *Plan) String() string {
 	return b.String()
 }
 
+// ParseError is the structured rejection of one fault-plan token, so
+// callers (the ppserved admission path, the CLIs' -faults flags) can
+// surface exactly what was wrong and where without re-parsing the
+// message text.
+type ParseError struct {
+	// Kind classifies the defect: "seed" (malformed or duplicate seed
+	// token), "event" (token is not "@trigger:kind[=arg]" shaped),
+	// "trigger" (bad step count), "kind" (unknown fault kind) or "arg"
+	// (argument out of range).
+	Kind string
+	// Offset is the byte offset of the offending token in the input.
+	Offset int
+	// Token is the offending token verbatim.
+	Token string
+	// Reason is the human-readable detail.
+	Reason string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("fault: bad %s at offset %d: token %q: %s", e.Kind, e.Offset, e.Token, e.Reason)
+}
+
+// planToken is one separator-delimited token with its byte offset.
+type planToken struct {
+	text string
+	off  int
+}
+
+func isPlanSep(b byte) bool {
+	return b == ',' || b == ';' || b == ' ' || b == '\t' || b == '\n'
+}
+
+// splitPlan tokenizes a plan string, keeping byte offsets so parse
+// errors can point at the offending token.
+func splitPlan(s string) []planToken {
+	var out []planToken
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || isPlanSep(s[i]) {
+			if start >= 0 {
+				out = append(out, planToken{text: s[start:i], off: start})
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
 // Parse parses the fault-plan text syntax. Events are separated by
 // commas, semicolons or whitespace; each is "@trigger:kind" with an
 // optional "=arg" (default 1); "seed=N" may appear once. The empty
-// string parses to an empty plan.
+// string parses to an empty plan. Errors are always of type
+// *ParseError, locating the rejected token.
 func Parse(s string) (*Plan, error) {
 	p := &Plan{}
 	seenSeed := false
-	fields := strings.FieldsFunc(s, func(r rune) bool {
-		return r == ',' || r == ';' || r == ' ' || r == '\t' || r == '\n'
-	})
-	for _, tok := range fields {
-		if v, ok := strings.CutPrefix(tok, "seed="); ok {
+	for _, tok := range splitPlan(s) {
+		if v, ok := strings.CutPrefix(tok.text, "seed="); ok {
 			if seenSeed {
-				return nil, fmt.Errorf("fault: duplicate seed token %q", tok)
+				return nil, &ParseError{Kind: "seed", Offset: tok.off, Token: tok.text, Reason: "duplicate seed token"}
 			}
 			seed, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("fault: bad seed %q: %v", tok, err)
+				return nil, &ParseError{Kind: "seed", Offset: tok.off, Token: tok.text, Reason: "want a 64-bit integer"}
 			}
 			p.Seed = seed
 			seenSeed = true
 			continue
 		}
-		ev, err := parseEvent(tok)
-		if err != nil {
-			return nil, err
+		ev, perr := parseEvent(tok)
+		if perr != nil {
+			return nil, perr
 		}
 		p.Events = append(p.Events, ev)
 	}
 	return p, nil
 }
 
-func parseEvent(tok string) (Event, error) {
-	body, ok := strings.CutPrefix(tok, "@")
+func parseEvent(tok planToken) (Event, *ParseError) {
+	body, ok := strings.CutPrefix(tok.text, "@")
 	if !ok {
-		return Event{}, fmt.Errorf("fault: event %q does not start with '@'", tok)
+		return Event{}, &ParseError{Kind: "event", Offset: tok.off, Token: tok.text, Reason: "does not start with '@'"}
 	}
 	trigger, rest, ok := strings.Cut(body, ":")
 	if !ok {
-		return Event{}, fmt.Errorf("fault: event %q lacks a ':kind' part", tok)
+		return Event{}, &ParseError{Kind: "event", Offset: tok.off, Token: tok.text, Reason: "lacks a ':kind' part"}
 	}
 	ev := Event{Arg: 1}
 	if trigger == "conv" {
@@ -200,20 +248,21 @@ func parseEvent(tok string) (Event, error) {
 	} else {
 		step, err := strconv.ParseInt(trigger, 10, 64)
 		if err != nil || step < 0 || step > maxStep {
-			return Event{}, fmt.Errorf("fault: event %q has a bad trigger (want a step count in [0,2^50] or \"conv\")", tok)
+			return Event{}, &ParseError{Kind: "trigger", Offset: tok.off, Token: tok.text, Reason: `want a step count in [0,2^50] or "conv"`}
 		}
 		ev.Step = step
 	}
 	kindStr, argStr, hasArg := strings.Cut(rest, "=")
 	kind, ok := parseKind(kindStr)
 	if !ok {
-		return Event{}, fmt.Errorf("fault: event %q has unknown kind %q (want corrupt|leader|crash|churn|omit)", tok, kindStr)
+		return Event{}, &ParseError{Kind: "kind", Offset: tok.off, Token: tok.text,
+			Reason: fmt.Sprintf("unknown kind %q (want corrupt|leader|crash|churn|omit)", kindStr)}
 	}
 	ev.Kind = kind
 	if hasArg {
 		arg, err := strconv.Atoi(argStr)
 		if err != nil || arg < 1 || arg > 1<<30 {
-			return Event{}, fmt.Errorf("fault: event %q has a bad argument (want an integer in [1,2^30])", tok)
+			return Event{}, &ParseError{Kind: "arg", Offset: tok.off, Token: tok.text, Reason: "want an integer in [1,2^30]"}
 		}
 		ev.Arg = arg
 	}

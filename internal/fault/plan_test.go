@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -64,6 +65,47 @@ func TestParseErrors(t *testing.T) {
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseErrorStructured pins the structured rejection: every Parse
+// failure is a *ParseError locating the offending token by kind, byte
+// offset and verbatim text (the ppserved 400-body contract).
+func TestParseErrorStructured(t *testing.T) {
+	cases := []struct {
+		in     string
+		kind   string
+		offset int
+		token  string
+	}{
+		{"corrupt=3", "event", 0, "corrupt=3"},
+		{"@5000corrupt", "event", 0, "@5000corrupt"},
+		{"@0:omit @x:corrupt", "trigger", 8, "@x:corrupt"},
+		{"@-3:corrupt", "trigger", 0, "@-3:corrupt"},
+		{"@conv:melt", "kind", 0, "@conv:melt"},
+		{"@conv:corrupt=0", "arg", 0, "@conv:corrupt=0"},
+		{"seed=1,seed=2,@0:omit", "seed", 7, "seed=2"},
+		{"seed=zzz", "seed", 0, "seed=zzz"},
+		{"@0:omit=1,\t @conv:corrupt=many", "arg", 12, "@conv:corrupt=many"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", tc.in)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error %T is not *ParseError", tc.in, err)
+			continue
+		}
+		if pe.Kind != tc.kind || pe.Offset != tc.offset || pe.Token != tc.token {
+			t.Errorf("Parse(%q) = {kind %q offset %d token %q}, want {%q %d %q}",
+				tc.in, pe.Kind, pe.Offset, pe.Token, tc.kind, tc.offset, tc.token)
+		}
+		if pe.Reason == "" || !strings.Contains(err.Error(), pe.Token) {
+			t.Errorf("Parse(%q) message %q does not carry the token/reason", tc.in, err)
 		}
 	}
 }

@@ -11,43 +11,72 @@
 // per interaction and allocates nothing (see BenchmarkRunnerObsOverhead
 // in internal/sim). The journal schema is documented in
 // docs/observability.md.
+//
+// # Concurrency
+//
+// The metric primitives — Counter, Gauge, Histogram — are safe for
+// concurrent use: every write is a single atomic operation and every
+// read a single atomic load, so a scraper (the ppserved /metrics
+// endpoint) can read them while a run mutates them, data-race free.
+// Reads of different fields of one Histogram (Count vs Buckets vs Max)
+// are individually atomic but not taken under one lock, so a scrape
+// concurrent with Observe may see a bucket increment before the count
+// it belongs to; totals are exact once the writer is quiescent. The
+// fields are plain integers updated through sync/atomic functions (not
+// atomic.Int64 values) so that the types stay copyable by value once
+// the writer has finished — sim.BatchSummary embeds a Histogram.
+//
+// Observer is single-writer: only the goroutine driving the run may
+// call its Observe*/Finish/Set* methods, and its map-backed rule
+// accounting and pair tracking are reader-unsafe while the run is
+// live. The one concurrent window into a live Observer is Snapshot,
+// which reads only the atomic counters and the quiet-streak histogram.
 package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
+	"sync/atomic"
 
 	"popnaming/internal/core"
 )
 
-// Counter is a monotonically increasing event count.
+// Counter is a monotonically increasing event count, safe for
+// concurrent use (atomic writes and reads).
 type Counter uint64
 
 // Inc adds one.
-func (c *Counter) Inc() { *c++ }
+func (c *Counter) Inc() { atomic.AddUint64((*uint64)(c), 1) }
 
 // Add adds d.
-func (c *Counter) Add(d uint64) { *c += Counter(d) }
+func (c *Counter) Add(d uint64) { atomic.AddUint64((*uint64)(c), d) }
 
 // Value returns the current count.
-func (c Counter) Value() uint64 { return uint64(c) }
+func (c *Counter) Value() uint64 { return atomic.LoadUint64((*uint64)(c)) }
 
-// Gauge is a point-in-time measurement.
-type Gauge float64
+// Gauge is a point-in-time float64 measurement, safe for concurrent
+// use (the value is stored as its IEEE-754 bits behind atomic
+// load/store). The zero value reads 0.
+type Gauge struct {
+	bits uint64
+}
 
 // Set replaces the gauge value.
-func (g *Gauge) Set(v float64) { *g = Gauge(v) }
+func (g *Gauge) Set(v float64) { atomic.StoreUint64(&g.bits, math.Float64bits(v)) }
 
 // Value returns the current value.
-func (g Gauge) Value() float64 { return float64(g) }
+func (g *Gauge) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&g.bits)) }
 
 // Histogram counts int64 observations in log2-scale buckets: bucket 0
 // holds values <= 0 and bucket k >= 1 holds values in [2^(k-1), 2^k).
-// The zero value is ready to use.
+// The zero value is ready to use. Observe and all read methods are
+// safe for concurrent use (see the package Concurrency notes for the
+// cross-field consistency caveat).
 type Histogram struct {
 	buckets [65]uint64
 	count   uint64
-	sum     float64
+	sum     int64
 	max     int64
 }
 
@@ -57,26 +86,50 @@ func (h *Histogram) Observe(v int64) {
 	if v > 0 {
 		idx = bits.Len64(uint64(v))
 	}
-	h.buckets[idx]++
-	h.count++
-	h.sum += float64(v)
-	if v > h.max {
-		h.max = v
+	atomic.AddUint64(&h.buckets[idx], 1)
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddInt64(&h.sum, v)
+	for {
+		old := atomic.LoadInt64(&h.max)
+		if v <= old || atomic.CompareAndSwapInt64(&h.max, old, v) {
+			return
+		}
 	}
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 { return atomic.LoadUint64(&h.count) }
 
 // Max returns the largest observed value (0 when empty).
-func (h *Histogram) Max() int64 { return h.max }
+func (h *Histogram) Max() int64 { return atomic.LoadInt64(&h.max) }
 
 // Mean returns the arithmetic mean of the observations (0 when empty).
 func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
+	count := atomic.LoadUint64(&h.count)
+	if count == 0 {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	return float64(atomic.LoadInt64(&h.sum)) / float64(count)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, safe to
+// hold, marshal and render after the scrape.
+type HistogramSnapshot struct {
+	Count   uint64       `json:"count"`
+	Mean    float64      `json:"mean"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns a copy of the histogram's current state, read with
+// atomic loads so it is safe against a concurrent writer.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:   h.Count(),
+		Mean:    h.Mean(),
+		Max:     h.Max(),
+		Buckets: h.Buckets(),
+	}
 }
 
 // HistBucket is one non-empty histogram bucket covering [Lo, Hi].
@@ -89,7 +142,8 @@ type HistBucket struct {
 // Buckets returns the non-empty buckets in ascending value order.
 func (h *Histogram) Buckets() []HistBucket {
 	var out []HistBucket
-	for k, c := range h.buckets {
+	for k := range h.buckets {
+		c := atomic.LoadUint64(&h.buckets[k])
 		if c == 0 {
 			continue
 		}

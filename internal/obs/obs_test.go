@@ -212,3 +212,69 @@ func nonEmptyLines(s string) []string {
 	}
 	return out
 }
+
+// TestConcurrentScrape is the -race coverage for the concurrency
+// guarantees the package documents: metric primitives and
+// Observer.Snapshot are readable while a single writer mutates them.
+// Run under the race detector (make race-serve) this fails on any
+// unsynchronized access; the assertions additionally pin that scraped
+// counters are monotone and land exactly on the writer's totals.
+func TestConcurrentScrape(t *testing.T) {
+	const steps = 100_000
+	o := NewObserver(8, false, ObserverOptions{})
+	var h Histogram
+	var c Counter
+	var g Gauge
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < steps; i++ {
+			o.ObservePair(core.Pair{A: i % 8, B: (i + 3) % 8}, i%5 == 0)
+			h.Observe(int64(i % 1024))
+			c.Inc()
+			g.Set(float64(i))
+		}
+	}()
+	var lastSteps uint64
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		snap := o.Snapshot()
+		if snap.Steps < lastSteps {
+			t.Fatalf("scraped steps went backwards: %d -> %d", lastSteps, snap.Steps)
+		}
+		lastSteps = snap.Steps
+		if snap.NonNull > snap.Steps {
+			t.Fatalf("nonNull %d exceeds steps %d", snap.NonNull, snap.Steps)
+		}
+		_ = h.Snapshot()
+		_ = h.Mean()
+		_ = c.Value()
+		_ = g.Value()
+	}
+	final := o.Snapshot()
+	if final.Steps != steps {
+		t.Fatalf("final steps = %d, want %d", final.Steps, steps)
+	}
+	if c.Value() != steps || h.Count() != steps {
+		t.Fatalf("counter %d / histogram count %d, want %d", c.Value(), h.Count(), steps)
+	}
+	if g.Value() != float64(steps-1) {
+		t.Fatalf("gauge = %v, want %v", g.Value(), float64(steps-1))
+	}
+}
+
+// TestHistogramSnapshot pins the snapshot copy against the live reads.
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 5, 5, 900} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Max != 900 || s.Mean != h.Mean() || len(s.Buckets) != len(h.Buckets()) {
+		t.Fatalf("snapshot %+v disagrees with live histogram", s)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"popnaming/internal/core"
@@ -31,9 +32,13 @@ type ObserverOptions struct {
 // Observer accumulates the metrics of one execution: interaction and
 // non-null counters, per-rule fire counts, quiet-streak statistics, and
 // scheduler pair-coverage/fairness gauges. It is fed by sim.Runner
-// through its Obs field (or by any driver via ObservePair) and is not
-// safe for concurrent use; batch runs give each trial its own Observer
-// sharing one concurrency-safe Sink.
+// through its Obs field (or by any driver via ObservePair) and is
+// single-writer: only the goroutine driving the run may call its
+// mutating methods, and its rule map and pair tracking are unsafe to
+// read while the run is live. Batch runs give each trial its own
+// Observer sharing one concurrency-safe Sink. The one method safe to
+// call from another goroutine during a live run is Snapshot, which
+// reads only the atomically maintained counters.
 type Observer struct {
 	sink          Sink
 	progressEvery uint64
@@ -103,6 +108,32 @@ func (o *Observer) NonNull() uint64 { return o.nonNull.Value() }
 // lengths (Finish flushes the trailing streak).
 func (o *Observer) QuietStreaks() *Histogram { return &o.quietHist }
 
+// ObserverSnapshot is a point-in-time scrape of a live run: the
+// atomically maintained counters only. Rule counts, pair coverage and
+// fairness gaps are single-writer state and are not included.
+type ObserverSnapshot struct {
+	// Steps and NonNull are the interaction counters.
+	Steps   uint64 `json:"steps"`
+	NonNull uint64 `json:"nonNull"`
+	// Quiet is the current all-null streak length.
+	Quiet int64 `json:"quiet"`
+	// QuietStreaks is the completed-streak histogram so far.
+	QuietStreaks HistogramSnapshot `json:"quietStreaks"`
+}
+
+// Snapshot scrapes the observer's atomic counters. Unlike every other
+// Observer method it is safe to call concurrently with the run that is
+// feeding the observer — the ppserved /metrics endpoint scrapes live
+// jobs through it.
+func (o *Observer) Snapshot() ObserverSnapshot {
+	return ObserverSnapshot{
+		Steps:        o.steps.Value(),
+		NonNull:      o.nonNull.Value(),
+		Quiet:        atomic.LoadInt64(&o.quiet),
+		QuietStreaks: o.quietHist.Snapshot(),
+	}
+}
+
 // SetForced records the number of interactions a fairness-enforcing
 // adversary was forced to schedule, surfaced in the summary record so
 // adversarial runs are auditable like scheduler runs. Call it before
@@ -160,12 +191,12 @@ func (o *Observer) ObservePair(p core.Pair, changed bool) {
 	}
 	if changed {
 		o.nonNull.Inc()
-		if o.quiet > 0 {
-			o.quietHist.Observe(o.quiet)
-			o.quiet = 0
+		if q := atomic.LoadInt64(&o.quiet); q > 0 {
+			o.quietHist.Observe(q)
+			atomic.StoreInt64(&o.quiet, 0)
 		}
 	} else {
-		o.quiet++
+		atomic.AddInt64(&o.quiet, 1)
 	}
 	if o.progressEvery > 0 && o.sink != nil && o.steps.Value()%o.progressEvery == 0 {
 		_ = o.sink.Emit(o.snapshot())
@@ -222,7 +253,7 @@ func (o *Observer) snapshot() Progress {
 		Trial:       o.trial,
 		Step:        o.steps.Value(),
 		NonNull:     o.nonNull.Value(),
-		Quiet:       o.quiet,
+		Quiet:       atomic.LoadInt64(&o.quiet),
 		PairsSeen:   o.pairsSeen,
 		PairsTotal:  o.pairsTotal(),
 		FairnessGap: o.FairnessGap(),
@@ -294,8 +325,8 @@ func (o *Observer) Finish(converged bool) {
 	if o.sink != nil {
 		_ = o.sink.Emit(o.snapshot())
 	}
-	if o.quiet > 0 {
-		o.quietHist.Observe(o.quiet)
+	if q := atomic.LoadInt64(&o.quiet); q > 0 {
+		o.quietHist.Observe(q)
 	}
 	if o.sink != nil {
 		_ = o.sink.Emit(o.summary(converged))

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// buffer is a job's append-only NDJSON result log. The worker running
+// the job emits journal records into it (it implements obs.Sink) while
+// any number of HTTP streams read it concurrently; a stream that
+// reaches the end blocks on the condition variable until more lines
+// arrive or the buffer closes, so followers see records as the run
+// produces them and get EOF exactly when the job is finalized.
+type buffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lines  [][]byte
+	closed bool
+}
+
+func newBuffer() *buffer {
+	b := &buffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Emit implements obs.Sink: one marshaled record per line. Emits after
+// close are dropped (the job was finalized; nothing should follow).
+func (b *buffer) Emit(rec any) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	b.mu.Lock()
+	if !b.closed {
+		b.lines = append(b.lines, line)
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	return nil
+}
+
+// close marks the stream complete and wakes every waiting reader.
+func (b *buffer) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// len returns the number of buffered lines.
+func (b *buffer) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.lines)
+}
+
+// wait blocks until lines beyond index i exist, the buffer closes, or
+// canceled reports true, and returns the new lines plus the closed
+// flag. Line slices are append-only and never mutated after Emit, so
+// the returned views are safe to write without holding the lock.
+// Cancellation is polled only at wake-ups: arrange for wake (e.g. via
+// context.AfterFunc) when canceled can turn true.
+func (b *buffer) wait(i int, canceled func() bool) ([][]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.lines) <= i && !b.closed && !canceled() {
+		b.cond.Wait()
+	}
+	var lines [][]byte
+	if len(b.lines) > i {
+		lines = b.lines[i:]
+	}
+	return lines, b.closed
+}
+
+// wake nudges every waiting reader to re-check its cancellation.
+func (b *buffer) wake() {
+	b.cond.Broadcast()
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"popnaming/internal/obs"
+	"popnaming/internal/report"
+)
+
+// metrics holds the service-level gauges and counters scraped by
+// GET /metrics. All fields follow the obs concurrency discipline:
+// single atomic writes, single atomic reads, no cross-field
+// transactions. The routes map is built once at server construction
+// and never mutated afterwards, so reads need no lock.
+type metrics struct {
+	start time.Time
+
+	// Job lifecycle counters.
+	submitted obs.Counter
+	rejected  obs.Counter // full-queue 429s
+	completed obs.Counter
+	failed    obs.Counter
+	canceled  obs.Counter
+
+	// active is the number of worker goroutines currently executing a
+	// job (int64 via sync/atomic: it decrements).
+	active int64
+
+	// jobWallMS is the wall-clock distribution of finished jobs in
+	// milliseconds; its mean drives the Retry-After estimate.
+	jobWallMS obs.Histogram
+
+	// Simulation aggregates across every job run by this server.
+	trialsRun       obs.Counter
+	trialsConverged obs.Counter
+	trialSteps      obs.Counter
+	trialNonNull    obs.Counter
+
+	// Per-route request counters and latency histograms (microseconds,
+	// log2 buckets). Keyed by the route pattern.
+	routes     map[string]*routeMetric
+	routeOrder []string
+}
+
+type routeMetric struct {
+	reqs  obs.Counter
+	latUS obs.Histogram
+}
+
+func newMetrics(routes []string) *metrics {
+	m := &metrics{
+		start:      time.Now(),
+		routes:     make(map[string]*routeMetric, len(routes)),
+		routeOrder: routes,
+	}
+	for _, r := range routes {
+		m.routes[r] = &routeMetric{}
+	}
+	return m
+}
+
+// observe records one handled request on its route.
+func (m *metrics) observe(route string, d time.Duration) {
+	rm := m.routes[route]
+	if rm == nil {
+		return
+	}
+	rm.reqs.Inc()
+	rm.latUS.Observe(d.Microseconds())
+}
+
+// activeWorkers reads the in-flight job count.
+func (m *metrics) activeWorkers() int64 { return atomic.LoadInt64(&m.active) }
+
+// render writes the /metrics tables: service gauges, job states, the
+// per-route request histograms, live job progress and the simulation
+// totals — all through report.Table, like every other tool in the
+// repo.
+func (s *Server) renderMetrics(w io.Writer) {
+	m := s.met
+
+	s.mu.Lock()
+	depth := len(s.queue)
+	draining := s.draining
+	byState := make(map[JobState]int)
+	type liveRow struct {
+		id, kind, proto string
+		records         int
+		snap            *obs.ObserverSnapshot
+	}
+	var live []liveRow
+	for _, j := range s.order {
+		v := j.view()
+		byState[v.State]++
+		if v.State == StateRunning {
+			live = append(live, liveRow{id: v.ID, kind: v.Kind, proto: v.Protocol, records: v.Records, snap: v.Live})
+		}
+	}
+	s.mu.Unlock()
+
+	svc := report.NewTable("ppserved service", "metric", "value")
+	svc.AddRowf("uptime_seconds", fmt.Sprintf("%.0f", time.Since(m.start).Seconds()))
+	svc.AddRowf("workers", s.cfg.Workers)
+	svc.AddRowf("workers_active", m.activeWorkers())
+	svc.AddRowf("queue_depth", depth)
+	svc.AddRowf("queue_capacity", s.cfg.QueueCap)
+	svc.AddRowf("draining", draining)
+	svc.AddRowf("jobs_submitted", m.submitted.Value())
+	svc.AddRowf("jobs_rejected", m.rejected.Value())
+	svc.AddRowf("jobs_completed", m.completed.Value())
+	svc.AddRowf("jobs_failed", m.failed.Value())
+	svc.AddRowf("jobs_canceled", m.canceled.Value())
+	jw := m.jobWallMS.Snapshot()
+	svc.AddRowf("job_wall_ms_mean", fmt.Sprintf("%.1f", jw.Mean))
+	svc.AddRowf("job_wall_ms_max", jw.Max)
+	svc.Render(w)
+	fmt.Fprintln(w)
+
+	states := report.NewTable("jobs by state", "state", "count")
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		states.AddRowf(string(st), byState[st])
+	}
+	states.Render(w)
+	fmt.Fprintln(w)
+
+	reqs := report.NewTable("http requests", "route", "count", "lat_us_mean", "lat_us_max", "lat_us_log2")
+	for _, route := range m.routeOrder {
+		rm := m.routes[route]
+		snap := rm.latUS.Snapshot()
+		reqs.AddRowf(route, rm.reqs.Value(),
+			fmt.Sprintf("%.0f", snap.Mean), snap.Max, bucketString(snap))
+	}
+	reqs.Render(w)
+	fmt.Fprintln(w)
+
+	if len(live) > 0 {
+		lt := report.NewTable("live jobs", "id", "kind", "protocol", "records", "steps", "nonNull", "quiet")
+		for _, r := range live {
+			if r.snap != nil {
+				lt.AddRowf(r.id, r.kind, r.proto, r.records, r.snap.Steps, r.snap.NonNull, r.snap.Quiet)
+			} else {
+				lt.AddRowf(r.id, r.kind, r.proto, r.records, "-", "-", "-")
+			}
+		}
+		lt.Render(w)
+		fmt.Fprintln(w)
+	}
+
+	sim := report.NewTable("simulation totals", "metric", "value")
+	sim.AddRowf("trials_run", m.trialsRun.Value())
+	sim.AddRowf("trials_converged", m.trialsConverged.Value())
+	sim.AddRowf("interactions_total", m.trialSteps.Value())
+	sim.AddRowf("interactions_non_null", m.trialNonNull.Value())
+	sim.Render(w)
+}
+
+// bucketString renders a histogram snapshot's non-empty log2 buckets
+// compactly: "lo-hi:count lo-hi:count ...".
+func bucketString(s obs.HistogramSnapshot) string {
+	if len(s.Buckets) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(s.Buckets))
+	for _, b := range s.Buckets {
+		parts = append(parts, fmt.Sprintf("%d-%d:%d", b.Lo, b.Hi, b.Count))
+	}
+	return strings.Join(parts, " ")
+}
+
+// retryAfterSec estimates when a rejected client should retry: the
+// mean job wall time scaled by the queue backlog per worker, clamped
+// to [1s, 600s]. With no completed jobs yet it answers 1.
+func (s *Server) retryAfterSec(depth int) int {
+	mean := s.met.jobWallMS.Mean() // ms
+	if mean <= 0 {
+		return 1
+	}
+	est := int(mean*float64(depth+1)/float64(s.cfg.Workers)/1000.0) + 1
+	if est < 1 {
+		est = 1
+	}
+	if est > 600 {
+		est = 600
+	}
+	return est
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"popnaming/internal/core"
+	"popnaming/internal/experiments"
+	"popnaming/internal/fault"
+	"popnaming/internal/obs"
+	"popnaming/internal/sched"
+	"popnaming/internal/sim"
+)
+
+// buildConfig mirrors the CLI initialization keys. The keys were
+// validated at admission, so workers call this infallibly per attempt.
+func buildConfig(proto core.Protocol, n int, initKey string, seed int64) (*core.Config, error) {
+	switch initKey {
+	case "zero":
+		cfg := core.NewConfig(n, 0)
+		if lp, ok := proto.(core.LeaderProtocol); ok {
+			cfg.Leader = lp.InitLeader()
+		}
+		return cfg, nil
+	case "uniform":
+		return sim.UniformConfig(proto, n), nil
+	case "arbitrary":
+		ap, ok := proto.(core.ArbitraryInitProtocol)
+		if !ok {
+			return nil, fmt.Errorf("protocol %q does not support arbitrary initialization", proto.Name())
+		}
+		return sim.ArbitraryConfig(ap, n, rand.New(rand.NewSource(seed))), nil
+	default:
+		return nil, fmt.Errorf("unknown init %q (zero | uniform | arbitrary)", initKey)
+	}
+}
+
+// buildScheduler mirrors the CLI scheduler keys minus eclipse (an
+// attack-study scheduler with extra knobs the job schema doesn't
+// carry). The per-trial scheduler seed is trialSeed+1, matching the
+// stabilization experiments, so a seeded service job replays the
+// equivalent direct run exactly.
+func buildScheduler(proto core.Protocol, n int, schedKey string, seed int64) (sched.Scheduler, error) {
+	withLeader := core.HasLeader(proto)
+	switch schedKey {
+	case "random":
+		return sched.NewRandom(n, withLeader, seed), nil
+	case "roundrobin":
+		return sched.NewRoundRobin(n, withLeader), nil
+	case "matching":
+		if withLeader {
+			return nil, fmt.Errorf("matching scheduler is leaderless only")
+		}
+		return sched.NewMatching(n), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q (random | roundrobin | matching)", schedKey)
+	}
+}
+
+// header builds the job's stream header. It is the first record of
+// every result stream; its seed is the resolved one, so the stream is
+// self-describing for replay.
+func (j *Job) header() obs.Header {
+	sp := j.v.spec
+	hdr := obs.NewHeader("ppserved")
+	hdr.N = sp.N
+	hdr.Scheduler = sp.Sched
+	hdr.Init = sp.Init
+	hdr.Budget = sp.Budget
+	hdr.Trials = sp.Trials
+	hdr.Workers = sp.Workers
+	hdr.Seed = sp.Seed
+	hdr.SeedDerived = j.v.seedDerived
+	if j.v.proto != nil {
+		hdr.Protocol = j.v.proto.Name()
+		hdr.P = j.v.proto.P()
+		hdr.States = j.v.proto.States()
+		hdr.Leader = core.HasLeader(j.v.proto)
+	} else {
+		hdr.P = sp.P
+	}
+	return hdr
+}
+
+// supervision translates the spec's bounds into a sim.Supervision
+// wired to the job's result buffer.
+func (j *Job) supervision() sim.Supervision {
+	sp := j.v.spec
+	return sim.Supervision{
+		StepBudget: sp.Budget,
+		Deadline:   time.Duration(sp.DeadlineMS) * time.Millisecond,
+		StallQuiet: sp.Stall,
+		Retries:    sp.Retries,
+		Sink:       j.buf,
+	}
+}
+
+// execute runs the job's workload on the worker goroutine, streaming
+// records into the job buffer. Cancellation arrives through j.ctx and
+// aborts at the next supervision check; the generic lifecycle
+// (state transition, terminal record, buffer close) is runJob's.
+func (s *Server) execute(j *Job) error {
+	switch j.v.spec.Kind {
+	case KindSim:
+		return s.runSim(j)
+	case KindBatch:
+		return s.runBatch(j)
+	case KindCampaign:
+		return s.runCampaign(j)
+	case KindTable1:
+		return s.runTable1(j)
+	default:
+		return fmt.Errorf("unreachable job kind %q", j.v.spec.Kind)
+	}
+}
+
+// runSim executes one supervised trial, exactly namesim's supervised
+// path: per-attempt seeds sim.DeriveSeed(seed, 0, attempt), scheduler
+// seed attemptSeed+1, fresh injector per attempt.
+func (s *Server) runSim(j *Job) error {
+	sp := j.v.spec
+	pr := j.v.proto
+	if err := j.buf.Emit(j.header()); err != nil {
+		return err
+	}
+	var finalCfg *core.Config
+	sr := sim.Supervise(j.ctx, j.supervision(), func(attempt int) *sim.Runner {
+		seed := sp.Seed
+		if attempt > 0 {
+			seed = sim.DeriveSeed(sp.Seed, 0, attempt)
+		}
+		cfg, _ := buildConfig(pr, sp.N, sp.Init, seed)
+		finalCfg = cfg
+		sc, _ := buildScheduler(pr, sp.N, sp.Sched, seed+1)
+		runner := sim.NewRunner(pr, sc, cfg)
+		if !j.v.plan.Empty() {
+			inj, _ := fault.NewInjector(j.v.plan, pr, seed)
+			inj.Sink = j.buf
+			runner.Inject = inj
+		}
+		o := obs.NewObserver(sp.N, core.HasLeader(pr), obs.ObserverOptions{
+			Sink:          j.buf,
+			ProgressEvery: sp.ProgressEvery,
+		})
+		runner.Obs = o
+		j.setLive(o)
+		return runner
+	})
+	sum := &JobSummary{
+		Status:    sr.Status.String(),
+		Reason:    sr.Reason,
+		Converged: sr.Converged,
+		Steps:     int64(sr.Steps),
+		NonNull:   int64(sr.NonNull),
+		OK:        sr.Status != sim.TrialAborted,
+	}
+	if finalCfg != nil {
+		sum.ValidNaming = finalCfg.ValidNaming()
+	}
+	j.setSummary(sum)
+	s.met.trialSteps.Add(uint64(sr.Steps))
+	s.met.trialNonNull.Add(uint64(sr.NonNull))
+	s.met.trialsRun.Inc()
+	if sr.Converged {
+		s.met.trialsConverged.Inc()
+	}
+	return nil
+}
+
+// runBatch executes a supervised batch with the experiment harness's
+// trial-seed recipe: trialSeed = DeriveSeed(jobSeed, trial, attempt),
+// scheduler seed trialSeed+1, injector seeded with trialSeed. A
+// seeded batch job therefore replays the equivalent direct
+// sim.RunBatchSupervised call record-for-record (the e2e test pins
+// this byte-for-byte modulo wall-clock fields).
+func (s *Server) runBatch(j *Job) error {
+	sp := j.v.spec
+	pr := j.v.proto
+	if err := j.buf.Emit(j.header()); err != nil {
+		return err
+	}
+	bo := sim.BatchObs{Sink: j.buf, ProgressEvery: sp.ProgressEvery}
+	sum := sim.RunBatchSupervised(j.ctx, pr, sp.Trials, sp.Workers, j.supervision(), bo,
+		func(trial, attempt int) sim.Trial {
+			seed := sim.DeriveSeed(sp.Seed, trial, attempt)
+			cfg, _ := buildConfig(pr, sp.N, sp.Init, seed)
+			sc, _ := buildScheduler(pr, sp.N, sp.Sched, seed+1)
+			t := sim.Trial{Cfg: cfg, Sched: sc}
+			if !j.v.plan.Empty() {
+				inj, _ := fault.NewInjector(j.v.plan, pr, seed)
+				t.Inject = inj
+			}
+			return t
+		})
+	j.setSummary(&JobSummary{
+		Trials:          sum.Trials,
+		TrialsConverged: sum.Converged,
+		Aborted:         sum.Aborted,
+		Retried:         sum.Retried,
+		Steps:           sum.TotalSteps,
+		NonNull:         sum.TotalNonNull,
+		OK:              sum.Converged == sum.Trials,
+	})
+	s.met.trialSteps.Add(uint64(sum.TotalSteps))
+	s.met.trialNonNull.Add(uint64(sum.TotalNonNull))
+	s.met.trialsRun.Add(uint64(sum.Trials))
+	s.met.trialsConverged.Add(uint64(sum.Converged))
+	return nil
+}
+
+// runCampaign executes a fault-injection campaign via
+// experiments.Stabilize; cancellation is bridged into the campaign's
+// cooperative Interrupt hook.
+func (s *Server) runCampaign(j *Job) error {
+	sp := j.v.spec
+	ap := j.v.proto.(core.ArbitraryInitProtocol) // checked at admission
+	if err := j.buf.Emit(j.header()); err != nil {
+		return err
+	}
+	res := experiments.Stabilize(sp.Protocol, ap, experiments.StabilizeOptions{
+		N:          sp.N,
+		Epochs:     sp.Epochs,
+		CorruptK:   sp.CorruptK,
+		Plan:       j.v.plan,
+		Trials:     sp.Trials,
+		Budget:     sp.Budget,
+		Deadline:   time.Duration(sp.DeadlineMS) * time.Millisecond,
+		Retries:    sp.Retries,
+		StallQuiet: sp.Stall,
+		Workers:    sp.Workers,
+		Seed:       sp.Seed,
+		Sink:       j.buf,
+		Interrupt:  func() bool { return j.ctx.Err() != nil },
+	})
+	if err := j.buf.Emit(CampaignRec{V: obs.Version, Type: "campaign", Result: res}); err != nil {
+		return err
+	}
+	j.setSummary(&JobSummary{
+		Trials:  res.Trials,
+		Aborted: res.Aborted,
+		Retried: res.Retried,
+		OK:      res.OK,
+	})
+	s.met.trialsRun.Add(uint64(res.Trials))
+	return nil
+}
+
+// runTable1 reproduces Table 1, streaming each completed cell as an
+// experiment record and finishing with the full-table record;
+// cancellation skips the remaining cells.
+func (s *Server) runTable1(j *Job) error {
+	sp := j.v.spec
+	if err := j.buf.Emit(j.header()); err != nil {
+		return err
+	}
+	cells := experiments.Table1(experiments.Table1Options{
+		P:           sp.P,
+		ModelCheckP: sp.ModelCheckP,
+		Budget:      sp.Budget,
+		Seed:        sp.Seed,
+		Workers:     sp.Workers,
+		Interrupt:   func() bool { return j.ctx.Err() != nil },
+		OnCell: func(i int, c experiments.Cell) {
+			rec := obs.NewExperimentRec(fmt.Sprintf("table1/%s/%s", c.Leader, c.Rules), "E1", c.OK, c.WallNS)
+			rec.Detail = c.Evidence
+			_ = j.buf.Emit(rec)
+		},
+	})
+	if err := j.buf.Emit(Table1Rec{V: obs.Version, Type: "table1", Cells: cells}); err != nil {
+		return err
+	}
+	ok := len(cells) > 0
+	for _, c := range cells {
+		ok = ok && c.OK
+	}
+	j.setSummary(&JobSummary{Cells: len(cells), OK: ok})
+	return nil
+}

@@ -1,0 +1,440 @@
+// Package serve is the long-running simulation service behind the
+// ppserved binary: an HTTP façade (stdlib net/http only) over the
+// repository's simulation engine and experiment harness.
+//
+// Clients POST JSON job specs to /v1/jobs — one supervised run
+// ("sim"), a multi-trial batch ("batch"), a fault-injection campaign
+// ("campaign") or the Table 1 reproduction ("table1") — and the
+// service validates them against the protocol registry and the fault
+// parser before admission, queues them FIFO into a bounded queue, and
+// executes them on a fixed worker pool. Results stream back as NDJSON
+// using the same versioned journal records the CLIs write (see
+// docs/observability.md and docs/service.md), so a service client and
+// a CLI user read one schema.
+//
+// The service is deterministic where the engine is: a job's resolved
+// seed is echoed at admission, and an identical seeded job replays the
+// equivalent direct library call record-for-record, byte-identical
+// modulo the wall-clock fields (elapsedNs/wallNs/utilization and the
+// service's own job records). The e2e test in this package pins that
+// contract.
+//
+// Backpressure and shutdown are explicit: a full queue answers 429
+// with a Retry-After estimate; Drain stops admission (503), lets
+// queued and running jobs finish, and escalates to cooperative
+// cancellation — honored by every job kind within one supervision
+// check — when its grace context expires.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"popnaming/internal/obs"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the job worker pool size (0: GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the job queue; a submission beyond it is
+	// rejected with 429 (0: 64).
+	QueueCap int
+	// Sink, when non-nil, receives the service journal: one JobRec per
+	// lifecycle transition of every job. It must be safe for
+	// concurrent use (obs.JournalSink is).
+	Sink obs.Sink
+}
+
+// Server is the simulation service: a handler, a bounded FIFO job
+// queue and a worker pool. Create with New, serve via Handler, stop
+// via Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	met  *metrics
+	sink obs.Sink
+
+	// baseCtx parents every job context; baseCancel is the
+	// drain-escalation switch that aborts all in-flight work.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []*Job // submission order, for list and metrics
+	nextID   int
+	queue    chan *Job
+	draining bool
+
+	wg sync.WaitGroup // worker goroutines
+}
+
+// routePatterns lists the service routes in documentation order; the
+// strings double as metrics keys.
+var routePatterns = []string{
+	"POST /v1/jobs",
+	"GET /v1/jobs",
+	"GET /v1/jobs/{id}",
+	"GET /v1/jobs/{id}/results",
+	"POST /v1/jobs/{id}/cancel",
+	"GET /metrics",
+	"GET /healthz",
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Sink == nil {
+		cfg.Sink = obs.Discard
+	}
+	s := &Server{
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		met:  newMetrics(routePatterns),
+		sink: cfg.Sink,
+		jobs: make(map[string]*Job),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.queue = make(chan *Job, cfg.QueueCap)
+
+	s.route("POST /v1/jobs", s.handleSubmit)
+	s.route("GET /v1/jobs", s.handleList)
+	s.route("GET /v1/jobs/{id}", s.handleGet)
+	s.route("GET /v1/jobs/{id}/results", s.handleResults)
+	s.route("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /healthz", s.handleHealth)
+
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route registers a handler with per-route request/latency metrics.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		s.met.observe(pattern, time.Since(t0))
+	})
+}
+
+// Submit validates and admits a job programmatically (the HTTP POST
+// body goes through exactly this path). On rejection the *Error
+// carries the HTTP status and, for fault-plan errors, the offending
+// token's location.
+func (s *Server) Submit(spec Spec) (*Job, *Error) {
+	v, verr := prepare(spec)
+	if verr != nil {
+		return nil, verr
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, &Error{Status: http.StatusServiceUnavailable, Kind: "draining",
+			Message: "server is draining; no new jobs accepted"}
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{ID: id, v: v, buf: newBuffer(), ctx: ctx, cancel: cancel, state: StateQueued}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.nextID-- // the ID was never exposed
+		s.met.rejected.Inc()
+		return nil, &Error{Status: http.StatusTooManyRequests, Kind: "queue-full",
+			Message:       fmt.Sprintf("job queue full (%d queued)", len(s.queue)),
+			RetryAfterSec: s.retryAfterSec(len(s.queue)),
+		}
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, j)
+	s.met.submitted.Inc()
+	_ = s.sink.Emit(j.rec())
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runJob is the worker-side lifecycle: queued -> running -> terminal,
+// with the terminal record appended to the result stream and the
+// service journal and the buffer closed so streaming clients get EOF.
+func (s *Server) runJob(j *Job) {
+	if !j.begin() {
+		s.finalize(j)
+		return
+	}
+	_ = s.sink.Emit(j.rec()) // running
+	atomic.AddInt64(&s.met.active, 1)
+	func() {
+		defer atomic.AddInt64(&s.met.active, -1)
+		defer func() {
+			if p := recover(); p != nil {
+				j.fail(fmt.Sprintf("panic: %v", p))
+			}
+		}()
+		if err := s.execute(j); err != nil {
+			j.fail(err.Error())
+		}
+	}()
+	j.mu.Lock()
+	if j.state == StateRunning {
+		if j.ctx.Err() != nil {
+			j.state = StateCanceled
+			j.errMsg = "canceled"
+		} else {
+			j.state = StateDone
+		}
+	}
+	j.mu.Unlock()
+	s.finalize(j)
+}
+
+// finalize seals a terminal job exactly once: stamps the wall clock,
+// appends the terminal job record to the result stream and the
+// service journal, closes the buffer (EOF for streamers), releases
+// the job context and bumps the outcome counters.
+func (s *Server) finalize(j *Job) {
+	j.mu.Lock()
+	if j.finalized || !j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.finalized = true
+	if !j.started.IsZero() {
+		j.wallNS = time.Since(j.started).Nanoseconds()
+	}
+	rec := j.recLocked()
+	state := j.state
+	wall := j.wallNS
+	j.mu.Unlock()
+
+	_ = j.buf.Emit(rec)
+	j.buf.close()
+	_ = s.sink.Emit(rec)
+	j.cancel()
+	switch state {
+	case StateDone:
+		s.met.completed.Inc()
+	case StateFailed:
+		s.met.failed.Inc()
+	case StateCanceled:
+		s.met.canceled.Inc()
+	}
+	if wall > 0 {
+		s.met.jobWallMS.Observe(wall / int64(time.Millisecond))
+	}
+}
+
+// Cancel requests cancellation of a job. Queued jobs become terminal
+// immediately; running jobs abort at their next supervision check
+// (within one Supervision.Slice of interactions) and keep their
+// partial result stream. Canceling a terminal job is a no-op.
+func (s *Server) Cancel(j *Job) {
+	j.mu.Lock()
+	wasQueued := j.state == StateQueued
+	if wasQueued {
+		j.state = StateCanceled
+		j.errMsg = "canceled while queued"
+	}
+	j.mu.Unlock()
+	j.cancel()
+	if wasQueued {
+		s.finalize(j)
+	}
+}
+
+// Drain performs a graceful shutdown: admission stops (submissions
+// answer 503), then Drain blocks until every queued and running job
+// reaches a terminal state. If ctx expires first, every in-flight
+// job's context is canceled — each aborts at its next supervision
+// check, its partial results already streamed and journaled — and
+// Drain waits for the (now fast) remainder. Safe to call more than
+// once; later calls just wait.
+func (s *Server) Drain(ctx context.Context) {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+	}
+}
+
+// Close is Drain with no grace: every job is canceled immediately.
+func (s *Server) Close() {
+	s.baseCancel()
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(expired)
+}
+
+// ---- HTTP handlers ----
+
+// maxBodyBytes bounds a job submission body.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, badRequest("bad job body: %v", err))
+		return
+	}
+	j, jerr := s.Submit(spec)
+	if jerr != nil {
+		writeError(w, jerr)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, j := range s.order {
+		views = append(views, j.view())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, &Error{Status: http.StatusNotFound, Kind: "not-found",
+			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, &Error{Status: http.StatusNotFound, Kind: "not-found",
+			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	s.Cancel(j)
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleResults streams the job's result records as NDJSON. By
+// default the stream follows the job: records are flushed as the run
+// produces them and the connection closes when the job reaches a
+// terminal state. With ?follow=false the handler returns the records
+// buffered so far and closes immediately.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, &Error{Status: http.StatusNotFound, Kind: "not-found",
+			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	follow := r.URL.Query().Get("follow") != "false"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// Wake the condition wait when the client goes away, so a
+	// disconnected follower releases its goroutine promptly.
+	stop := context.AfterFunc(r.Context(), j.buf.wake)
+	defer stop()
+
+	// A non-follow read never blocks: the stop condition is already
+	// true, so wait returns whatever is buffered right now.
+	stopWaiting := func() bool { return !follow || r.Context().Err() != nil }
+	sent := 0
+	for {
+		lines, closed := j.buf.wait(sent, stopWaiting)
+		for _, line := range lines {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+		}
+		sent += len(lines)
+		if flusher != nil && len(lines) > 0 {
+			flusher.Flush()
+		}
+		if closed || stopWaiting() {
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.renderMetrics(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError renders a structured error as {"error": {...}}, setting
+// Retry-After on 429s.
+func writeError(w http.ResponseWriter, e *Error) {
+	if e.Status == http.StatusTooManyRequests && e.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", e.RetryAfterSec))
+	}
+	writeJSON(w, e.Status, map[string]*Error{"error": e})
+}

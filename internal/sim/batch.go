@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -117,7 +118,7 @@ func RunBatch(pr core.Protocol, trials, budget, workers int, mkTrial func(trial 
 // produces.
 func RunBatchObserved(pr core.Protocol, trials, budget, workers int, bo BatchObs, mkTrial func(trial int) Trial) BatchSummary {
 	sup := Supervision{StepBudget: budget, Slice: budget}
-	return RunBatchSupervised(pr, trials, workers, sup, bo, func(trial, attempt int) Trial {
+	return RunBatchSupervised(context.Background(), pr, trials, workers, sup, bo, func(trial, attempt int) Trial {
 		return mkTrial(trial)
 	})
 }
@@ -130,7 +131,15 @@ func RunBatchObserved(pr core.Protocol, trials, budget, workers int, bo BatchObs
 // once per attempt (fresh configuration, scheduler and injector each
 // time; derive per-attempt seeds with DeriveSeed); trial injectors are
 // wired to the batch sink and their trial index before the run starts.
-func RunBatchSupervised(pr core.Protocol, trials, workers int, sup Supervision, bo BatchObs, mkTrial func(trial, attempt int) Trial) BatchSummary {
+//
+// ctx cancellation is honored like the batch deadline: trials claimed
+// after the cancel are tagged TrialAborted with reason "canceled"
+// without running, and in-flight trials abort at their next slice
+// boundary with partial results. A nil ctx is context.Background().
+func RunBatchSupervised(ctx context.Context, pr core.Protocol, trials, workers int, sup Supervision, bo BatchObs, mkTrial func(trial, attempt int) Trial) BatchSummary {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -171,6 +180,10 @@ func RunBatchSupervised(pr core.Protocol, trials, workers int, sup Supervision, 
 				// after an interrupt) the remaining trials are tagged
 				// instead of run, so the batch returns promptly with
 				// partial results.
+				if ctx.Err() != nil {
+					out[i] = BatchResult{Trial: i, Status: TrialAborted, Reason: "canceled"}
+					continue
+				}
 				if sup.Interrupt != nil && sup.Interrupt() {
 					out[i] = BatchResult{Trial: i, Status: TrialAborted, Reason: "interrupt"}
 					continue
@@ -185,7 +198,7 @@ func RunBatchSupervised(pr core.Protocol, trials, workers int, sup Supervision, 
 				if bo.Sink != nil {
 					tsup.Sink = bo.Sink
 				}
-				sr := superviseUntil(tsup, deadlineAt, func(attempt int) *Runner {
+				sr := superviseUntil(ctx, tsup, deadlineAt, func(attempt int) *Runner {
 					t := mkTrial(i, attempt)
 					run := NewRunner(pr, t.Sched, t.Cfg)
 					if t.Inject != nil {

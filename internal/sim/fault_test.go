@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -231,7 +232,7 @@ func TestSuperviseStallRetry(t *testing.T) {
 	const n = 2
 	pr := naming.NewAsymmetric(n)
 	sup := Supervision{StepBudget: 10_000_000, StallQuiet: 1024, Retries: 1, Slice: 4096}
-	sr := Supervise(sup, func(attempt int) *Runner {
+	sr := Supervise(context.Background(), sup, func(attempt int) *Runner {
 		cfg := zeroStart(n)
 		run := NewRunner(pr, sched.NewRoundRobin(n, false), cfg)
 		if attempt == 0 {
@@ -253,7 +254,7 @@ func TestSuperviseStallAborts(t *testing.T) {
 	const n = 2
 	pr := naming.NewAsymmetric(n)
 	sup := Supervision{StepBudget: 10_000_000, StallQuiet: 1024, Slice: 4096}
-	sr := Supervise(sup, func(attempt int) *Runner {
+	sr := Supervise(context.Background(), sup, func(attempt int) *Runner {
 		cfg := zeroStart(n)
 		run := NewRunner(pr, sched.NewRoundRobin(n, false), cfg)
 		run.Inject = mustInjector(t, mustPlan(t, "@0:crash=1"), pr, 6)
@@ -273,7 +274,7 @@ func TestSuperviseDeadline(t *testing.T) {
 	const n = 4
 	pr := naming.NewAsymmetric(n)
 	sup := Supervision{Deadline: time.Nanosecond}
-	sr := Supervise(sup, func(attempt int) *Runner {
+	sr := Supervise(context.Background(), sup, func(attempt int) *Runner {
 		return NewRunner(pr, sched.NewRoundRobin(n, false), zeroStart(n))
 	})
 	if sr.Status != TrialAborted || sr.Reason != "deadline" {
@@ -287,7 +288,7 @@ func TestSuperviseInterrupt(t *testing.T) {
 	const n = 4
 	pr := naming.NewAsymmetric(n)
 	sup := Supervision{Interrupt: func() bool { return true }}
-	sr := Supervise(sup, func(attempt int) *Runner {
+	sr := Supervise(context.Background(), sup, func(attempt int) *Runner {
 		return NewRunner(pr, sched.NewRoundRobin(n, false), zeroStart(n))
 	})
 	if sr.Status != TrialAborted || sr.Reason != "interrupt" {
@@ -302,7 +303,7 @@ func TestSuperviseOK(t *testing.T) {
 	const n = 6
 	pr := naming.NewAsymmetric(n)
 	sup := Supervision{StepBudget: 10_000_000}
-	sr := Supervise(sup, func(attempt int) *Runner {
+	sr := Supervise(context.Background(), sup, func(attempt int) *Runner {
 		cfg := ArbitraryConfig(pr, n, rand.New(rand.NewSource(7)))
 		return NewRunner(pr, sched.NewRandom(n, false, 7), cfg)
 	})
@@ -333,7 +334,7 @@ func TestRunBatchSupervisedDeadlineTagsTrials(t *testing.T) {
 	const n, trials = 4, 6
 	pr := naming.NewAsymmetric(n)
 	sup := Supervision{Deadline: time.Nanosecond}
-	sum := RunBatchSupervised(pr, trials, 2, sup, BatchObs{}, func(trial, attempt int) Trial {
+	sum := RunBatchSupervised(context.Background(), pr, trials, 2, sup, BatchObs{}, func(trial, attempt int) Trial {
 		return Trial{Cfg: zeroStart(n), Sched: sched.NewRoundRobin(n, false)}
 	})
 	if sum.Aborted != trials {
@@ -352,7 +353,7 @@ func TestRunBatchSupervisedRetries(t *testing.T) {
 	const n, trials = 2, 4
 	pr := naming.NewAsymmetric(n)
 	sup := Supervision{StepBudget: 10_000_000, StallQuiet: 1024, Retries: 1, Slice: 4096}
-	sum := RunBatchSupervised(pr, trials, 2, sup, BatchObs{}, func(trial, attempt int) Trial {
+	sum := RunBatchSupervised(context.Background(), pr, trials, 2, sup, BatchObs{}, func(trial, attempt int) Trial {
 		tr := Trial{Cfg: zeroStart(n), Sched: sched.NewRoundRobin(n, false)}
 		if attempt == 0 {
 			tr.Inject = mustInjector(t, mustPlan(t, "@0:crash=1"), pr, DeriveSeed(8, trial, attempt))
@@ -362,5 +363,78 @@ func TestRunBatchSupervisedRetries(t *testing.T) {
 	if sum.Retried != trials || sum.Converged != trials || sum.Aborted != 0 {
 		t.Fatalf("retried %d converged %d aborted %d, want %d/%d/0",
 			sum.Retried, sum.Converged, sum.Aborted, trials, trials)
+	}
+}
+
+// TestSuperviseContextCancel is the cancellation regression: a run that
+// would otherwise idle for billions of steps (converged, but with a
+// far-future fault event keeping the plan unexhausted) must abort with
+// reason "canceled" and a partial result within one supervision check
+// of the context cancel — not hang until the step budget runs out.
+func TestSuperviseContextCancel(t *testing.T) {
+	const n = 4
+	pr := naming.NewAsymmetric(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan SupervisedResult, 1)
+	go func() {
+		sup := Supervision{StepBudget: 1 << 31}
+		done <- Supervise(ctx, sup, func(attempt int) *Runner {
+			run := NewRunner(pr, sched.NewRandom(n, false, 9), zeroStart(n))
+			run.Inject = mustInjector(t, mustPlan(t, "@999999999999:corrupt=1"), pr, 9)
+			return run
+		})
+	}()
+	select {
+	case sr := <-done:
+		if sr.Status != TrialAborted || sr.Reason != "canceled" {
+			t.Fatalf("status %s reason %q, want aborted/canceled", sr.Status, sr.Reason)
+		}
+		if sr.Steps == 0 {
+			t.Fatal("canceled run reports no partial progress")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled supervision hung")
+	}
+}
+
+// TestSuperviseCanceledBeforeStart: a context canceled before the first
+// attempt aborts without ever building a runner.
+func TestSuperviseCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	built := false
+	sr := Supervise(ctx, Supervision{}, func(attempt int) *Runner {
+		built = true
+		return NewRunner(naming.NewAsymmetric(2), sched.NewRoundRobin(2, false), zeroStart(2))
+	})
+	if sr.Status != TrialAborted || sr.Reason != "canceled" || sr.Attempts != 0 {
+		t.Fatalf("status %s reason %q attempts %d, want aborted/canceled/0", sr.Status, sr.Reason, sr.Attempts)
+	}
+	if built {
+		t.Fatal("runner built despite pre-canceled context")
+	}
+}
+
+// TestRunBatchSupervisedContextCancel: trials claimed after the cancel
+// are tagged aborted/"canceled" without running.
+func TestRunBatchSupervisedContextCancel(t *testing.T) {
+	const n, trials = 4, 6
+	pr := naming.NewAsymmetric(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum := RunBatchSupervised(ctx, pr, trials, 2, Supervision{}, BatchObs{}, func(trial, attempt int) Trial {
+		return Trial{Cfg: zeroStart(n), Sched: sched.NewRoundRobin(n, false)}
+	})
+	if sum.Aborted != trials {
+		t.Fatalf("Aborted = %d, want %d", sum.Aborted, trials)
+	}
+	for _, br := range sum.Results {
+		if br.Reason != "canceled" {
+			t.Fatalf("trial %d reason %q, want canceled", br.Trial, br.Reason)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -101,8 +102,8 @@ type SupervisedResult struct {
 	Status TrialStatus
 	// Attempts counts runner attempts, so 1 + the retries consumed.
 	Attempts int
-	// Reason is empty for normal completion and "stall", "deadline" or
-	// "interrupt" for aborts.
+	// Reason is empty for normal completion and "stall", "deadline",
+	// "interrupt" or "canceled" for aborts.
 	Reason string
 	// WallNS is the trial's wall-clock time, retries included.
 	WallNS int64
@@ -131,27 +132,43 @@ func smix(z uint64) uint64 {
 // next attempt number — derive seeds with DeriveSeed so attempts
 // differ). Supervise finishes each attempt's Obs, when one is attached,
 // before returning or retrying.
-func Supervise(sup Supervision, mk func(attempt int) *Runner) SupervisedResult {
+//
+// ctx cancellation is honored between attempts and at every slice
+// boundary (so within one supervision check of the cancel): the trial
+// aborts with reason "canceled" and its partial Result. A nil ctx is
+// treated as context.Background().
+func Supervise(ctx context.Context, sup Supervision, mk func(attempt int) *Runner) SupervisedResult {
 	var deadlineAt time.Time
 	if sup.Deadline > 0 {
 		deadlineAt = time.Now().Add(sup.Deadline)
 	}
-	return superviseUntil(sup, deadlineAt, mk)
+	return superviseUntil(ctx, sup, deadlineAt, mk)
 }
 
 // superviseUntil is Supervise against an absolute deadline instant, so
 // a batch can impose one shared deadline across all its trials.
-func superviseUntil(sup Supervision, deadlineAt time.Time, mk func(attempt int) *Runner) SupervisedResult {
+func superviseUntil(ctx context.Context, sup Supervision, deadlineAt time.Time, mk func(attempt int) *Runner) SupervisedResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	budget := sup.stepBudget()
 	slice := sup.slice()
 	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			// Canceled between attempts: abort before building the next
+			// runner. Attempts counts the runners actually built.
+			sup.emit("abort", "canceled", attempt, nil)
+			return SupervisedResult{Status: TrialAborted, Attempts: attempt, Reason: "canceled", WallNS: time.Since(start).Nanoseconds()}
+		}
 		r := mk(attempt)
 		res := Result{Final: r.Cfg}
 		reason := ""
 		stalled := false
 		for {
-			if sup.Interrupt != nil && sup.Interrupt() {
+			if ctx.Err() != nil {
+				reason = "canceled"
+			} else if sup.Interrupt != nil && sup.Interrupt() {
 				reason = "interrupt"
 			} else if !deadlineAt.IsZero() && !time.Now().Before(deadlineAt) {
 				reason = "deadline"
@@ -196,12 +213,17 @@ func superviseUntil(sup Supervision, deadlineAt time.Time, mk func(attempt int) 
 }
 
 // emit journals a supervision event ("retry"/"abort") as a fault
-// record.
+// record. r may be nil when no runner was built (cancellation between
+// attempts).
 func (sup *Supervision) emit(kind, trigger string, attempt int, r *Runner) {
 	if sup.Sink == nil {
 		return
 	}
-	rec := obs.NewFaultRec(sup.Trial, int64(r.steps), kind, 0, trigger)
+	step := 0
+	if r != nil {
+		step = r.steps
+	}
+	rec := obs.NewFaultRec(sup.Trial, int64(step), kind, 0, trigger)
 	rec.Attempt = attempt
 	_ = sup.Sink.Emit(rec)
 }
