@@ -17,7 +17,13 @@ FAULT_BENCH = BenchmarkRunnerNilInjector|BenchmarkRunnerEmptyInjector|BenchmarkR
 # throughput numbers (see docs/service.md and EXPERIMENTS.md).
 SERVE_BENCH = BenchmarkServeLoad
 
-.PHONY: check vet build test race race-search race-fault race-serve fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve serve
+# Tracing benchmarks gating the span layer: per-span emission cost and
+# the supervised runner with tracing off (must stay 0 allocs/op and
+# within noise of BENCH_PR5's supervised numbers) vs on (see
+# docs/observability.md "Traces").
+TRACE_BENCH = BenchmarkSpanEmit|BenchmarkSpanEmitJournal|BenchmarkSupervisedNilTrace|BenchmarkSupervisedTraced
+
+.PHONY: check vet build test race race-search race-fault race-serve fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve bench-trace serve
 
 # check is the single entry point: everything CI (or a reviewer) needs.
 check: vet build race race-search race-fault race-serve fmt fuzzbuild
@@ -97,3 +103,10 @@ bench-fault:
 bench-serve:
 	$(GO) test -json -run='^$$' -bench='$(SERVE_BENCH)' -benchmem -count=3 ./internal/serve > BENCH_PR5.json
 	@echo "wrote BENCH_PR5.json ($$(wc -l < BENCH_PR5.json) events)"
+
+# bench-trace runs the span-layer benchmarks plus the nil-trace
+# zero-alloc assertion (TestSupervisedNilTraceAllocs) and writes the
+# go-test JSON stream to BENCH_PR6.json.
+bench-trace:
+	$(GO) test -json -run='TestSupervisedNilTraceAllocs' -bench='$(TRACE_BENCH)' -benchmem -count=3 ./internal/obs ./internal/sim > BENCH_PR6.json
+	@echo "wrote BENCH_PR6.json ($$(wc -l < BENCH_PR6.json) events)"

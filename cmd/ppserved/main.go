@@ -12,7 +12,10 @@
 // table1); GET /v1/jobs lists jobs; GET /v1/jobs/{id} shows one;
 // GET /v1/jobs/{id}/results streams the result records; POST
 // /v1/jobs/{id}/cancel cancels; GET /metrics renders the service and
-// simulation metric tables; GET /healthz reports liveness.
+// simulation metric tables (?format=prometheus for text exposition
+// format 0.0.4); GET /healthz reports liveness; GET /readyz reports
+// readiness (503 while draining or queue-saturated). -debug-addr
+// mounts net/http/pprof on a separate listener for profiling.
 //
 // Shutdown: on SIGTERM or SIGINT the server stops admitting jobs
 // (503), finishes the queued and running ones within -grace, then
@@ -27,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -39,20 +43,21 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers = flag.Int("workers", 0, "job worker pool size (0: GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "job queue capacity (beyond it submissions get 429)")
-		journal = flag.String("journal", "", "write the service journal (JSONL job records) to this file")
-		grace   = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight jobs are canceled")
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers   = flag.Int("workers", 0, "job worker pool size (0: GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "job queue capacity (beyond it submissions get 429)")
+		journal   = flag.String("journal", "", "write the service journal (JSONL job records) to this file")
+		grace     = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight jobs are canceled")
+		debugAddr = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060); off when empty")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *journal, *grace); err != nil {
+	if err := run(*addr, *workers, *queue, *journal, *grace, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "ppserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, journal string, grace time.Duration) error {
+func run(addr string, workers, queue int, journal string, grace time.Duration, debugAddr string) error {
 	cfg := serve.Config{Workers: workers, QueueCap: queue}
 	var closeJournal func() error
 	if journal != "" {
@@ -72,6 +77,24 @@ func run(addr string, workers, queue int, journal string, grace time.Duration) e
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	fmt.Printf("ppserved: listening on %s (workers %d, queue %d)\n",
 		ln.Addr(), effectiveWorkers(workers), queue)
+
+	// The pprof listener is opt-in and separate from the service
+	// listener, so profiling endpoints are never exposed on the
+	// service address. It dies with the process; no drain needed.
+	if debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Printf("ppserved: pprof on %s\n", dln.Addr())
+		go func() { _ = http.Serve(dln, dmux) }()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

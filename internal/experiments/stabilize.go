@@ -84,6 +84,9 @@ type StabilizeOptions struct {
 	// Sink, when non-nil, receives per-trial summaries, fault records
 	// and the batch summary.
 	Sink obs.Sink
+	// Trace, when enabled, is threaded through to the supervised batch
+	// so every trial/attempt/slice journals a span (see obs.SpanContext).
+	Trace obs.SpanContext
 	// Interrupt, when non-nil, aborts remaining work when it returns
 	// true (the SIGINT path).
 	Interrupt func() bool
@@ -176,6 +179,7 @@ func StabilizePlan(name string, pr core.ArbitraryInitProtocol, plan *fault.Plan,
 		StallQuiet: opts.StallQuiet,
 		Retries:    opts.Retries,
 		Interrupt:  opts.Interrupt,
+		Trace:      opts.Trace,
 	}
 	bo := sim.BatchObs{Sink: opts.Sink}
 	sum := sim.RunBatchSupervised(context.Background(), pr, opts.Trials, opts.Workers, sup, bo, func(trial, attempt int) sim.Trial {

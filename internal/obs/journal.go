@@ -13,8 +13,8 @@ const Version = 1
 
 // Sink receives journal records. Emit is called with JSON-marshalable
 // record values (Header, Progress, Summary, BatchSummaryRec,
-// ExperimentRec, StageRec); implementations used from sim.RunBatch
-// workers must be safe for concurrent use.
+// ExperimentRec, StageRec, SpanRec); implementations used from
+// sim.RunBatch workers must be safe for concurrent use.
 type Sink interface {
 	Emit(rec any) error
 }
@@ -117,6 +117,10 @@ type Header struct {
 	Seed          int64 `json:"seed"`
 	SeedDerived   bool  `json:"seedDerived,omitempty"`
 	Deterministic bool  `json:"deterministic,omitempty"`
+
+	// Trace is the trace ID of a traced run (see SpanRec), derived from
+	// Seed, so clients can correlate the stream's span records up front.
+	Trace string `json:"trace,omitempty"`
 }
 
 // NewHeader returns a header record for the named tool.

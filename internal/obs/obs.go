@@ -103,6 +103,9 @@ func (h *Histogram) Count() uint64 { return atomic.LoadUint64(&h.count) }
 // Max returns the largest observed value (0 when empty).
 func (h *Histogram) Max() int64 { return atomic.LoadInt64(&h.max) }
 
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return atomic.LoadInt64(&h.sum) }
+
 // Mean returns the arithmetic mean of the observations (0 when empty).
 func (h *Histogram) Mean() float64 {
 	count := atomic.LoadUint64(&h.count)
@@ -116,6 +119,7 @@ func (h *Histogram) Mean() float64 {
 // hold, marshal and render after the scrape.
 type HistogramSnapshot struct {
 	Count   uint64       `json:"count"`
+	Sum     int64        `json:"sum"`
 	Mean    float64      `json:"mean"`
 	Max     int64        `json:"max"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
@@ -126,6 +130,7 @@ type HistogramSnapshot struct {
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	return HistogramSnapshot{
 		Count:   h.Count(),
+		Sum:     h.Sum(),
 		Mean:    h.Mean(),
 		Max:     h.Max(),
 		Buckets: h.Buckets(),

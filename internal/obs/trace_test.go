@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceIDDeterministic pins the seed -> trace ID derivation: stable
+// across calls, distinct across seeds, never zero (zero means
+// disabled), and rendered as 16 hex digits.
+func TestTraceIDDeterministic(t *testing.T) {
+	if NewTraceID(7) != NewTraceID(7) {
+		t.Fatal("trace ID not deterministic")
+	}
+	if NewTraceID(7) == NewTraceID(8) {
+		t.Fatal("trace IDs collide across adjacent seeds")
+	}
+	for _, seed := range []int64{0, 1, -1, 7, 1 << 40} {
+		id := NewTraceID(seed)
+		if id == 0 {
+			t.Fatalf("seed %d derived the zero trace ID", seed)
+		}
+		if s := id.String(); len(s) != 16 {
+			t.Fatalf("trace ID %q not 16 hex digits", s)
+		}
+	}
+}
+
+// TestDeriveSpanID pins the structural span-ID derivation: every
+// input — trace, parent, name, index — must perturb the ID, and the
+// derivation must be pure.
+func TestDeriveSpanID(t *testing.T) {
+	base := DeriveSpanID(NewTraceID(7), 0, "attempt", 0)
+	if base != DeriveSpanID(NewTraceID(7), 0, "attempt", 0) {
+		t.Fatal("span ID not deterministic")
+	}
+	if base == 0 {
+		t.Fatal("span ID is zero")
+	}
+	for name, other := range map[string]SpanID{
+		"trace":  DeriveSpanID(NewTraceID(8), 0, "attempt", 0),
+		"parent": DeriveSpanID(NewTraceID(7), SpanID(5), "attempt", 0),
+		"name":   DeriveSpanID(NewTraceID(7), 0, "slice", 0),
+		"index":  DeriveSpanID(NewTraceID(7), 0, "attempt", 1),
+	} {
+		if other == base {
+			t.Errorf("changing %s did not change the span ID", name)
+		}
+	}
+}
+
+// TestSpanRecordShape runs a tiny trace into a journal and checks the
+// emitted record fields: IDs as hex, parent links, attr order, events,
+// the wall-clock fields.
+func TestSpanRecordShape(t *testing.T) {
+	var buf bytes.Buffer
+	sc := SpanContext{Trace: NewTraceID(3), Sink: NewJournalSink(&buf)}
+	root := sc.Start("job", 0)
+	child := root.Context().Start("attempt", 2)
+	child.Trial = 4
+	child.Attr("steps", 100).Attr("nonNull", 40)
+	child.Event("corrupt", 50)
+	child.End()
+	root.SetQueueWait(5 * time.Millisecond)
+	root.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("emitted %d records, want 2", len(lines))
+	}
+	var crec, rrec SpanRec
+	if err := json.Unmarshal([]byte(lines[0]), &crec); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rrec); err != nil {
+		t.Fatal(err)
+	}
+	if crec.V != Version || crec.Type != "span" || crec.Name != "attempt" {
+		t.Fatalf("child record envelope: %+v", crec)
+	}
+	if crec.Trace != NewTraceID(3).String() {
+		t.Fatalf("child trace %q", crec.Trace)
+	}
+	if crec.Parent != rrec.Span {
+		t.Fatalf("child parent %q != root span %q", crec.Parent, rrec.Span)
+	}
+	if rrec.Parent != "" {
+		t.Fatalf("root has parent %q", rrec.Parent)
+	}
+	if crec.Trial != 4 {
+		t.Fatalf("child trial %d", crec.Trial)
+	}
+	wantAttrs := []SpanAttr{{K: "steps", V: 100}, {K: "nonNull", V: 40}}
+	if len(crec.Attrs) != 2 || crec.Attrs[0] != wantAttrs[0] || crec.Attrs[1] != wantAttrs[1] {
+		t.Fatalf("child attrs %+v", crec.Attrs)
+	}
+	if len(crec.Events) != 1 || crec.Events[0] != (SpanEvent{Name: "corrupt", Step: 50}) {
+		t.Fatalf("child events %+v", crec.Events)
+	}
+	if rrec.QueueWaitNS != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("root queueWaitNs %d", rrec.QueueWaitNS)
+	}
+	if rrec.DurNS < 0 || crec.DurNS < 0 {
+		t.Fatalf("negative durations: %d %d", rrec.DurNS, crec.DurNS)
+	}
+	// The deterministic fields must not depend on when the spans ran:
+	// a second identical trace matches byte-for-byte after stripping
+	// the wall-clock fields.
+	if crec.Span != DeriveSpanID(NewTraceID(3), SpanID(mustParseID(t, rrec.Span)), "attempt", 2).String() {
+		t.Fatalf("child span ID %q not structurally derived", crec.Span)
+	}
+}
+
+func mustParseID(t *testing.T, hex string) uint64 {
+	t.Helper()
+	var v uint64
+	for i := 0; i < len(hex); i++ {
+		c := hex[i]
+		v <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			v |= uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			v |= uint64(c-'a') + 10
+		default:
+			t.Fatalf("bad hex id %q", hex)
+		}
+	}
+	return v
+}
+
+// TestSpanDisabledAndIdempotent pins the fast-path contract: a zero
+// context starts nil spans, every method tolerates nil, and End emits
+// at most once.
+func TestSpanDisabledAndIdempotent(t *testing.T) {
+	var zero SpanContext
+	if zero.Enabled() {
+		t.Fatal("zero context enabled")
+	}
+	sp := zero.Start("job", 0)
+	if sp != nil {
+		t.Fatal("disabled Start returned a span")
+	}
+	// All nil-receiver methods must be no-ops, not panics.
+	sp.Attr("k", 1)
+	sp.Event("e", 2)
+	sp.SetQueueWait(time.Second)
+	sp.End()
+	if ctx := sp.Context(); ctx.Enabled() {
+		t.Fatal("nil span context enabled")
+	}
+
+	var buf bytes.Buffer
+	sc := SpanContext{Trace: NewTraceID(1), Sink: NewJournalSink(&buf)}
+	live := sc.Start("job", 0)
+	live.End()
+	live.End()
+	live.End()
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("idempotent End emitted %d records, want 1", n)
+	}
+}
+
+// BenchmarkSpanEmit measures the cost of one fully annotated span
+// (start, two attrs, end) against a discard sink — the per-slice
+// overhead a traced supervised run pays.
+func BenchmarkSpanEmit(b *testing.B) {
+	sc := SpanContext{Trace: NewTraceID(7), Sink: Discard}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := sc.Start("slice", i)
+		sp.Attr("steps", int64(i)).Attr("nonNull", int64(i/2))
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEmitJournal is BenchmarkSpanEmit against a real JSONL
+// sink, including the marshal cost.
+func BenchmarkSpanEmitJournal(b *testing.B) {
+	var buf bytes.Buffer
+	sc := SpanContext{Trace: NewTraceID(7), Sink: NewJournalSink(&buf)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		sp := sc.Start("slice", i)
+		sp.Attr("steps", int64(i)).Attr("nonNull", int64(i/2))
+		sp.End()
+	}
+}

@@ -106,6 +106,16 @@ type Spec struct {
 	Epochs      int `json:"epochs,omitempty"`
 	CorruptK    int `json:"corruptK,omitempty"`
 	ModelCheckP int `json:"modelCheckP,omitempty"`
+
+	// Trace opts the job into span tracing: the result stream gains v1
+	// "span" records covering admission-to-terminal, queue wait, and —
+	// for sim/batch/campaign jobs — every trial, attempt and
+	// supervision slice, with fault injections as span events. The
+	// trace ID derives from the resolved seed, so a same-seed
+	// resubmission reproduces the span tree byte-for-byte modulo
+	// durNs/queueWaitNs. Untraced jobs emit exactly the pre-trace
+	// stream (the determinism contract is unchanged).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Error is the structured rejection body, rendered as
@@ -358,15 +368,32 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	state     JobState
-	errMsg    string
-	started   time.Time
-	wallNS    int64
-	summary   *JobSummary
-	live      *obs.Observer
-	finalized bool
+	// Trace plumbing, set once at admission and immutable afterwards:
+	// rootSpan covers admission to terminal, queueSpan admission to
+	// execution start. Span methods are called only by the owning
+	// worker (or, for a job canceled while queued, by the single
+	// goroutine that wins finalization). All nil/disabled when the spec
+	// did not opt in.
+	traceID   obs.TraceID
+	rootSpan  *obs.Span
+	queueSpan *obs.Span
+	admitted  time.Time
+
+	mu          sync.Mutex
+	state       JobState
+	errMsg      string
+	started     time.Time
+	wallNS      int64
+	queueWaitNS int64
+	summary     *JobSummary
+	live        *obs.Observer
+	finalized   bool
 }
+
+// traceCtx returns the root span's context — the parent for every
+// child span the job's workload emits — or a disabled context for
+// untraced jobs.
+func (j *Job) traceCtx() obs.SpanContext { return j.rootSpan.Context() }
 
 // JobView is the GET /v1/jobs/{id} representation.
 type JobView struct {
@@ -384,6 +411,8 @@ type JobView struct {
 	Workers     int      `json:"workers,omitempty"`
 	Seed        int64    `json:"seed"`
 	SeedDerived bool     `json:"seedDerived,omitempty"`
+	// Trace is the job's trace ID when span tracing was requested.
+	Trace string `json:"trace,omitempty"`
 	// Records is the number of NDJSON result records buffered so far.
 	Records int `json:"records"`
 	// Error carries the failure (or cancellation) detail.
@@ -406,6 +435,9 @@ func (j *Job) view() JobView {
 		Faults: sp.Faults, Budget: sp.Budget, Trials: sp.Trials, Workers: sp.Workers,
 		Seed: sp.Seed, SeedDerived: j.v.seedDerived,
 		Records: j.buf.len(), Error: j.errMsg, WallNS: j.wallNS, Summary: j.summary,
+	}
+	if j.traceID != 0 {
+		view.Trace = j.traceID.String()
 	}
 	if j.state == StateRunning && j.live != nil {
 		snap := j.live.Snapshot()
@@ -455,33 +487,50 @@ func (j *Job) begin() bool {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	if !j.admitted.IsZero() {
+		j.queueWaitNS = j.started.Sub(j.admitted).Nanoseconds()
+	}
 	return true
+}
+
+// queueWait reads the job's queue-wait duration (0 until it starts).
+func (j *Job) queueWait() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.queueWaitNS
 }
 
 // JobRec is the service-journal record for a job lifecycle transition;
 // the terminal transition is also the last record of the job's result
-// stream. WallNS is a wall-clock field (excluded from the determinism
-// contract, like elapsedNs/wallNs everywhere else in the journal).
+// stream. WallNS and QueueWaitNS are wall-clock fields (excluded from
+// the determinism contract, like elapsedNs/wallNs everywhere else in
+// the journal).
 type JobRec struct {
-	V        int    `json:"v"`
-	Type     string `json:"type"` // "job"
-	ID       string `json:"id"`
-	Kind     string `json:"kind"`
-	State    string `json:"state"`
-	Protocol string `json:"protocol,omitempty"`
-	Seed     int64  `json:"seed"`
-	Error    string `json:"error,omitempty"`
-	WallNS   int64  `json:"wallNs,omitempty"`
+	V           int    `json:"v"`
+	Type        string `json:"type"` // "job"
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	State       string `json:"state"`
+	Protocol    string `json:"protocol,omitempty"`
+	Seed        int64  `json:"seed"`
+	Trace       string `json:"trace,omitempty"`
+	Error       string `json:"error,omitempty"`
+	WallNS      int64  `json:"wallNs,omitempty"`
+	QueueWaitNS int64  `json:"queueWaitNs,omitempty"`
 }
 
 // recLocked builds the job's lifecycle record; callers hold j.mu.
 func (j *Job) recLocked() JobRec {
-	return JobRec{
+	rec := JobRec{
 		V: obs.Version, Type: "job", ID: j.ID,
 		Kind: j.v.spec.Kind, State: string(j.state),
 		Protocol: j.v.spec.Protocol, Seed: j.v.spec.Seed,
-		Error: j.errMsg, WallNS: j.wallNS,
+		Error: j.errMsg, WallNS: j.wallNS, QueueWaitNS: j.queueWaitNS,
 	}
+	if j.traceID != 0 {
+		rec.Trace = j.traceID.String()
+	}
+	return rec
 }
 
 // rec builds the job's lifecycle record.

@@ -34,6 +34,9 @@ type metrics struct {
 	// milliseconds; its mean drives the Retry-After estimate.
 	jobWallMS obs.Histogram
 
+	// spans counts trace span records emitted into result streams.
+	spans obs.Counter
+
 	// Simulation aggregates across every job run by this server.
 	trialsRun       obs.Counter
 	trialsConverged obs.Counter
@@ -44,6 +47,11 @@ type metrics struct {
 	// log2 buckets). Keyed by the route pattern.
 	routes     map[string]*routeMetric
 	routeOrder []string
+
+	// Per-job-kind phase histograms (queue wait, execution, result
+	// streaming). Keyed by job kind; built once at construction.
+	kinds     map[string]*kindMetric
+	kindOrder []string
 }
 
 type routeMetric struct {
@@ -51,16 +59,52 @@ type routeMetric struct {
 	latUS obs.Histogram
 }
 
+// kindMetric splits one job kind's latency into its phases: time in
+// the queue (admission -> execution start, microseconds), execution
+// wall clock (milliseconds) and result-stream connection time
+// (milliseconds, one observation per /results request).
+type kindMetric struct {
+	queueWaitUS obs.Histogram
+	execMS      obs.Histogram
+	streamMS    obs.Histogram
+}
+
+// jobKinds lists the job kinds in documentation order; the strings
+// double as metrics label values.
+var jobKinds = []string{KindSim, KindBatch, KindCampaign, KindTable1}
+
 func newMetrics(routes []string) *metrics {
 	m := &metrics{
 		start:      time.Now(),
 		routes:     make(map[string]*routeMetric, len(routes)),
 		routeOrder: routes,
+		kinds:      make(map[string]*kindMetric, len(jobKinds)),
+		kindOrder:  jobKinds,
 	}
 	for _, r := range routes {
 		m.routes[r] = &routeMetric{}
 	}
+	for _, k := range jobKinds {
+		m.kinds[k] = &kindMetric{}
+	}
 	return m
+}
+
+// kind returns the phase histograms for a job kind (nil for unknown
+// kinds, which cannot pass admission).
+func (m *metrics) kind(k string) *kindMetric { return m.kinds[k] }
+
+// spanSink wraps a job's result buffer for span records, counting them
+// into the service metrics on the way through. Safe for concurrent use
+// when the wrapped sink is (buffer is).
+type spanSink struct {
+	buf     obs.Sink
+	emitted *obs.Counter
+}
+
+func (ss *spanSink) Emit(rec any) error {
+	ss.emitted.Inc()
+	return ss.buf.Emit(rec)
 }
 
 // observe records one handled request on its route.
@@ -117,6 +161,7 @@ func (s *Server) renderMetrics(w io.Writer) {
 	jw := m.jobWallMS.Snapshot()
 	svc.AddRowf("job_wall_ms_mean", fmt.Sprintf("%.1f", jw.Mean))
 	svc.AddRowf("job_wall_ms_max", jw.Max)
+	svc.AddRowf("spans_emitted", m.spans.Value())
 	svc.Render(w)
 	fmt.Fprintln(w)
 
@@ -135,6 +180,16 @@ func (s *Server) renderMetrics(w io.Writer) {
 			fmt.Sprintf("%.0f", snap.Mean), snap.Max, bucketString(snap))
 	}
 	reqs.Render(w)
+	fmt.Fprintln(w)
+
+	phases := report.NewTable("job phases by kind", "kind", "jobs", "queue_wait_us_mean", "exec_ms_mean", "exec_ms_max", "stream_ms_mean")
+	for _, k := range m.kindOrder {
+		km := m.kinds[k]
+		qw, ex, st := km.queueWaitUS.Snapshot(), km.execMS.Snapshot(), km.streamMS.Snapshot()
+		phases.AddRowf(k, qw.Count,
+			fmt.Sprintf("%.0f", qw.Mean), fmt.Sprintf("%.1f", ex.Mean), ex.Max, fmt.Sprintf("%.1f", st.Mean))
+	}
+	phases.Render(w)
 	fmt.Fprintln(w)
 
 	if len(live) > 0 {

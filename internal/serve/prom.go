@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"io"
+	"runtime"
+	"time"
+
+	"popnaming/internal/obs"
+)
+
+// renderPrometheus writes every service metric — the obs counters,
+// gauges and histograms behind the human-readable tables — in
+// Prometheus text exposition format 0.0.4, plus Go runtime gauges
+// (goroutines, heap, GC), for GET /metrics?format=prometheus. The
+// exposition is conformance-tested in prom_test.go.
+func (s *Server) renderPrometheus(w io.Writer) {
+	m := s.met
+
+	s.mu.Lock()
+	depth := len(s.queue)
+	draining := s.draining
+	byState := make(map[JobState]int)
+	for _, j := range s.order {
+		j.mu.Lock()
+		byState[j.state]++
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	ready, _ := s.Ready()
+
+	b01 := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+
+	p := obs.NewPromWriter(w)
+
+	p.Gauge("ppserved_uptime_seconds", "Seconds since the server started.", time.Since(m.start).Seconds())
+	p.Gauge("ppserved_workers", "Configured job worker pool size.", float64(s.cfg.Workers))
+	p.Gauge("ppserved_workers_active", "Workers currently executing a job.", float64(m.activeWorkers()))
+	p.Gauge("ppserved_queue_depth", "Jobs waiting in the admission queue.", float64(depth))
+	p.Gauge("ppserved_queue_capacity", "Admission queue capacity.", float64(s.cfg.QueueCap))
+	p.Gauge("ppserved_queue_high_watermark", "Queue depth at which /readyz turns unready.", float64(s.cfg.HighWater))
+	p.Gauge("ppserved_draining", "1 while the server is draining, else 0.", b01(draining))
+	p.Gauge("ppserved_ready", "1 while /readyz answers 200, else 0.", b01(ready))
+
+	p.Counter("ppserved_jobs_submitted_total", "Jobs admitted to the queue.", m.submitted.Value())
+	p.Counter("ppserved_jobs_rejected_total", "Submissions rejected with 429 (queue full).", m.rejected.Value())
+	p.Counter("ppserved_jobs_completed_total", "Jobs that reached state done.", m.completed.Value())
+	p.Counter("ppserved_jobs_failed_total", "Jobs that reached state failed.", m.failed.Value())
+	p.Counter("ppserved_jobs_canceled_total", "Jobs that reached state canceled.", m.canceled.Value())
+	p.Counter("ppserved_spans_total", "Trace span records emitted into result streams.", m.spans.Value())
+
+	p.Family("ppserved_jobs", "gauge", "Jobs currently known to the server, by lifecycle state.")
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		p.Sample("ppserved_jobs", []obs.PromLabel{{Name: "state", Value: string(st)}}, float64(byState[st]))
+	}
+
+	p.Family("ppserved_job_wall_milliseconds", "histogram", "Wall-clock time of finished jobs.")
+	p.Histogram("ppserved_job_wall_milliseconds", nil, m.jobWallMS.Snapshot())
+
+	p.Family("ppserved_job_queue_wait_microseconds", "histogram", "Queue wait (admission to execution start) by job kind.")
+	for _, k := range m.kindOrder {
+		p.Histogram("ppserved_job_queue_wait_microseconds", []obs.PromLabel{{Name: "kind", Value: k}}, m.kinds[k].queueWaitUS.Snapshot())
+	}
+	p.Family("ppserved_job_exec_milliseconds", "histogram", "Execution wall clock by job kind.")
+	for _, k := range m.kindOrder {
+		p.Histogram("ppserved_job_exec_milliseconds", []obs.PromLabel{{Name: "kind", Value: k}}, m.kinds[k].execMS.Snapshot())
+	}
+	p.Family("ppserved_job_stream_milliseconds", "histogram", "Result-stream connection time by job kind.")
+	for _, k := range m.kindOrder {
+		p.Histogram("ppserved_job_stream_milliseconds", []obs.PromLabel{{Name: "kind", Value: k}}, m.kinds[k].streamMS.Snapshot())
+	}
+
+	p.Family("ppserved_http_requests_total", "counter", "Handled HTTP requests by route.")
+	for _, route := range m.routeOrder {
+		p.Sample("ppserved_http_requests_total", []obs.PromLabel{{Name: "route", Value: route}}, float64(m.routes[route].reqs.Value()))
+	}
+	p.Family("ppserved_http_request_latency_microseconds", "histogram", "HTTP request latency by route.")
+	for _, route := range m.routeOrder {
+		p.Histogram("ppserved_http_request_latency_microseconds", []obs.PromLabel{{Name: "route", Value: route}}, m.routes[route].latUS.Snapshot())
+	}
+
+	p.Counter("ppserved_trials_total", "Simulation trials run across all jobs.", m.trialsRun.Value())
+	p.Counter("ppserved_trials_converged_total", "Trials that reached silence within budget.", m.trialsConverged.Value())
+	p.Counter("ppserved_interactions_total", "Scheduled interactions across all trials.", m.trialSteps.Value())
+	p.Counter("ppserved_interactions_non_null_total", "State-changing interactions across all trials.", m.trialNonNull.Value())
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.Gauge("go_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+	p.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	p.Gauge("go_heap_objects", "Number of allocated heap objects.", float64(ms.HeapObjects))
+	p.Counter("go_gc_cycles_total", "Completed GC cycles.", uint64(ms.NumGC))
+	p.Family("go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.")
+	p.Sample("go_gc_pause_seconds_total", nil, float64(ms.PauseTotalNs)/1e9)
+}

@@ -80,11 +80,16 @@ func (j *Job) header() obs.Header {
 	} else {
 		hdr.P = sp.P
 	}
+	if j.traceID != 0 {
+		hdr.Trace = j.traceID.String()
+	}
 	return hdr
 }
 
 // supervision translates the spec's bounds into a sim.Supervision
-// wired to the job's result buffer.
+// wired to the job's result buffer, carrying the job's trace context
+// (disabled for untraced jobs) so attempt/slice spans parent under the
+// job's root span.
 func (j *Job) supervision() sim.Supervision {
 	sp := j.v.spec
 	return sim.Supervision{
@@ -93,6 +98,7 @@ func (j *Job) supervision() sim.Supervision {
 		StallQuiet: sp.Stall,
 		Retries:    sp.Retries,
 		Sink:       j.buf,
+		Trace:      j.traceCtx(),
 	}
 }
 
@@ -100,7 +106,15 @@ func (j *Job) supervision() sim.Supervision {
 // records into the job buffer. Cancellation arrives through j.ctx and
 // aborts at the next supervision check; the generic lifecycle
 // (state transition, terminal record, buffer close) is runJob's.
+//
+// Every stream starts with the job header; a traced stream follows it
+// with the sealed queue span, so the first span a client sees already
+// locates the job in its trace before workload records arrive.
 func (s *Server) execute(j *Job) error {
+	if err := j.buf.Emit(j.header()); err != nil {
+		return err
+	}
+	j.queueSpan.End()
 	switch j.v.spec.Kind {
 	case KindSim:
 		return s.runSim(j)
@@ -121,9 +135,6 @@ func (s *Server) execute(j *Job) error {
 func (s *Server) runSim(j *Job) error {
 	sp := j.v.spec
 	pr := j.v.proto
-	if err := j.buf.Emit(j.header()); err != nil {
-		return err
-	}
 	var finalCfg *core.Config
 	sr := sim.Supervise(j.ctx, j.supervision(), func(attempt int) *sim.Runner {
 		seed := sp.Seed
@@ -177,9 +188,6 @@ func (s *Server) runSim(j *Job) error {
 func (s *Server) runBatch(j *Job) error {
 	sp := j.v.spec
 	pr := j.v.proto
-	if err := j.buf.Emit(j.header()); err != nil {
-		return err
-	}
 	bo := sim.BatchObs{Sink: j.buf, ProgressEvery: sp.ProgressEvery}
 	sum := sim.RunBatchSupervised(j.ctx, pr, sp.Trials, sp.Workers, j.supervision(), bo,
 		func(trial, attempt int) sim.Trial {
@@ -215,9 +223,6 @@ func (s *Server) runBatch(j *Job) error {
 func (s *Server) runCampaign(j *Job) error {
 	sp := j.v.spec
 	ap := j.v.proto.(core.ArbitraryInitProtocol) // checked at admission
-	if err := j.buf.Emit(j.header()); err != nil {
-		return err
-	}
 	res := experiments.Stabilize(sp.Protocol, ap, experiments.StabilizeOptions{
 		N:          sp.N,
 		Epochs:     sp.Epochs,
@@ -231,6 +236,7 @@ func (s *Server) runCampaign(j *Job) error {
 		Workers:    sp.Workers,
 		Seed:       sp.Seed,
 		Sink:       j.buf,
+		Trace:      j.traceCtx(),
 		Interrupt:  func() bool { return j.ctx.Err() != nil },
 	})
 	if err := j.buf.Emit(CampaignRec{V: obs.Version, Type: "campaign", Result: res}); err != nil {
@@ -251,9 +257,6 @@ func (s *Server) runCampaign(j *Job) error {
 // cancellation skips the remaining cells.
 func (s *Server) runTable1(j *Job) error {
 	sp := j.v.spec
-	if err := j.buf.Emit(j.header()); err != nil {
-		return err
-	}
 	cells := experiments.Table1(experiments.Table1Options{
 		P:           sp.P,
 		ModelCheckP: sp.ModelCheckP,

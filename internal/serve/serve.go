@@ -46,6 +46,11 @@ type Config struct {
 	// QueueCap bounds the job queue; a submission beyond it is
 	// rejected with 429 (0: 64).
 	QueueCap int
+	// HighWater is the queue-depth readiness threshold: GET /readyz
+	// answers 503 once the queue holds this many jobs, so load
+	// balancers stop routing before submissions start drawing 429s
+	// (0: 80% of QueueCap, at least 1).
+	HighWater int
 	// Sink, when non-nil, receives the service journal: one JobRec per
 	// lifecycle transition of every job. It must be safe for
 	// concurrent use (obs.JournalSink is).
@@ -86,6 +91,7 @@ var routePatterns = []string{
 	"POST /v1/jobs/{id}/cancel",
 	"GET /metrics",
 	"GET /healthz",
+	"GET /readyz",
 }
 
 // New builds a Server and starts its worker pool.
@@ -95,6 +101,15 @@ func New(cfg Config) *Server {
 	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
+	}
+	if cfg.HighWater <= 0 {
+		cfg.HighWater = cfg.QueueCap * 8 / 10
+		if cfg.HighWater < 1 {
+			cfg.HighWater = 1
+		}
+	}
+	if cfg.HighWater > cfg.QueueCap {
+		cfg.HighWater = cfg.QueueCap
 	}
 	if cfg.Sink == nil {
 		cfg.Sink = obs.Discard
@@ -116,6 +131,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /readyz", s.handleReady)
 
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -159,7 +175,18 @@ func (s *Server) Submit(spec Spec) (*Job, *Error) {
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	j := &Job{ID: id, v: v, buf: newBuffer(), ctx: ctx, cancel: cancel, state: StateQueued}
+	j := &Job{ID: id, v: v, buf: newBuffer(), ctx: ctx, cancel: cancel, state: StateQueued, admitted: time.Now()}
+	if v.spec.Trace {
+		// The trace ID derives from the resolved seed, the root span
+		// covers admission to terminal, and the queue span measures
+		// time-to-execution. Span records flow into the job's result
+		// buffer through a counting wrapper so /metrics sees the span
+		// volume.
+		j.traceID = obs.NewTraceID(v.spec.Seed)
+		root := obs.SpanContext{Trace: j.traceID, Sink: &spanSink{buf: j.buf, emitted: &s.met.spans}}
+		j.rootSpan = root.Start("job", 0)
+		j.queueSpan = j.rootSpan.Context().Start("queue", 0)
+	}
 	select {
 	case s.queue <- j:
 	default:
@@ -193,6 +220,9 @@ func (s *Server) runJob(j *Job) {
 	if !j.begin() {
 		s.finalize(j)
 		return
+	}
+	if km := s.met.kind(j.v.spec.Kind); km != nil {
+		km.queueWaitUS.Observe(j.queueWait() / int64(time.Microsecond))
 	}
 	_ = s.sink.Emit(j.rec()) // running
 	atomic.AddInt64(&s.met.active, 1)
@@ -233,12 +263,26 @@ func (s *Server) finalize(j *Job) {
 	j.finalized = true
 	if !j.started.IsZero() {
 		j.wallNS = time.Since(j.started).Nanoseconds()
+	} else if !j.admitted.IsZero() {
+		// Canceled while queued: the whole residence was queue wait.
+		j.queueWaitNS = time.Since(j.admitted).Nanoseconds()
 	}
 	rec := j.recLocked()
 	state := j.state
 	wall := j.wallNS
+	queueWait := j.queueWaitNS
 	j.mu.Unlock()
 
+	// The root span (admission -> terminal) and, for jobs that never
+	// started, the still-open queue span are sealed before the terminal
+	// record, so a traced stream reads: spans, then the job record,
+	// then EOF. Only the finalization winner reaches this point, so the
+	// spans stay single-writer.
+	if j.rootSpan != nil {
+		j.queueSpan.End()
+		j.rootSpan.SetQueueWait(time.Duration(queueWait))
+		j.rootSpan.End()
+	}
 	_ = j.buf.Emit(rec)
 	j.buf.close()
 	_ = s.sink.Emit(rec)
@@ -253,6 +297,9 @@ func (s *Server) finalize(j *Job) {
 	}
 	if wall > 0 {
 		s.met.jobWallMS.Observe(wall / int64(time.Millisecond))
+		if km := s.met.kind(j.v.spec.Kind); km != nil {
+			km.execMS.Observe(wall / int64(time.Millisecond))
+		}
 	}
 }
 
@@ -376,6 +423,10 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	follow := r.URL.Query().Get("follow") != "false"
+	if km := s.met.kind(j.v.spec.Kind); km != nil {
+		t0 := time.Now()
+		defer func() { km.streamMS.Observe(time.Since(t0).Milliseconds()) }()
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -407,10 +458,21 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.renderMetrics(w)
+	switch format := r.URL.Query().Get("format"); format {
+	case "":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.renderMetrics(w)
+	case "prometheus":
+		w.Header().Set("Content-Type", obs.PromContentType)
+		s.renderPrometheus(w)
+	default:
+		writeError(w, badRequest("unknown metrics format %q (omit for tables, or \"prometheus\")", format))
+	}
 }
 
+// handleHealth is the liveness probe: 200 while the process serves
+// HTTP at all, draining included — a draining server is alive, it is
+// just not ready.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -420,6 +482,41 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// Ready reports whether the server should receive new traffic: not
+// draining and queue depth below the high-watermark. The reason is
+// "ready", "draining" or "saturated".
+func (s *Server) Ready() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.draining:
+		return false, "draining"
+	case len(s.queue) >= s.cfg.HighWater:
+		return false, "saturated"
+	default:
+		return true, "ready"
+	}
+}
+
+// handleReady is the readiness probe: 503 while draining or while the
+// queue sits at or above the high-watermark, so load balancers stop
+// routing before submissions start drawing 429s.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.Ready()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.mu.Lock()
+	depth := len(s.queue)
+	s.mu.Unlock()
+	writeJSON(w, status, map[string]any{
+		"status":     reason,
+		"queueDepth": depth,
+		"highWater":  s.cfg.HighWater,
+	})
 }
 
 // writeJSON writes a JSON response body.

@@ -123,7 +123,7 @@ func streamLines(t *testing.T, ts *httptest.Server, id string) [][]byte {
 // wallClockKeys are the journal fields excluded from the determinism
 // contract (docs/observability.md); canonicalize drops them before
 // comparing record streams.
-var wallClockKeys = []string{"elapsedNs", "wallNs", "utilization", "nodesPerSec"}
+var wallClockKeys = []string{"elapsedNs", "wallNs", "utilization", "nodesPerSec", "durNs", "queueWaitNs"}
 
 // canonicalize re-marshals a record line with wall-clock fields
 // dropped and keys sorted (Go's map marshaling), giving a
@@ -573,9 +573,73 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestReadyz pins the readiness probe: ready while idle, 503
+// "saturated" once the queue reaches the high-watermark, 503
+// "draining" after drain starts — distinct from /healthz, which stays
+// 200 throughout.
+func TestReadyz(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4, HighWater: 1})
+	if code, status := probe(t, ts.URL+"/readyz"); code != http.StatusOK || status != "ready" {
+		t.Fatalf("idle readyz: %d %q", code, status)
+	}
+
+	// Occupy the single worker; the queue itself stays empty, so the
+	// server is still ready.
+	status, blocker, _, _ := postJob(t, ts, longRunningSpec())
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	waitState(t, ts, blocker.ID, StateRunning, 10*time.Second)
+	if code, st := probe(t, ts.URL+"/readyz"); code != http.StatusOK || st != "ready" {
+		t.Fatalf("busy-but-empty readyz: %d %q", code, st)
+	}
+
+	// One queued job reaches the high-watermark: unready, but alive and
+	// still admitting (readiness trips before the 429 backpressure).
+	status, queued, _, _ := postJob(t, ts, longRunningSpec())
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	if v := getView(t, ts, queued.ID); v.State != StateQueued {
+		t.Fatalf("second job state %q, want queued", v.State)
+	}
+	if code, st := probe(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || st != "saturated" {
+		t.Fatalf("saturated readyz: %d %q", code, st)
+	}
+	if code, st := probe(t, ts.URL+"/healthz"); code != http.StatusOK || st != "ok" {
+		t.Fatalf("saturated healthz: %d %q", code, st)
+	}
+
+	// Draining wins over saturation as the unready reason.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s.Drain(ctx)
+	if code, st := probe(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || st != "draining" {
+		t.Fatalf("draining readyz: %d %q", code, st)
+	}
+}
+
+// probe GETs a JSON endpoint and returns the status code and the
+// decoded body's "status" field.
+func probe(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body.Status
+}
+
 // TestSIGTERMDrain builds and runs the real ppserved binary, submits a
-// job, sends SIGTERM and verifies a clean exit 0 with the service
-// journal flushed — the production shutdown path end to end.
+// job, sends SIGTERM and verifies the readiness flip — /readyz turns
+// 503 while /healthz stays 200 for the duration of the drain — and a
+// clean exit 0 with the service journal flushed: the production
+// shutdown path end to end.
 func TestSIGTERMDrain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess test")
@@ -589,7 +653,7 @@ func TestSIGTERMDrain(t *testing.T) {
 	}
 
 	journal := filepath.Join(dir, "service.jsonl")
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-journal", journal, "-grace", "20s")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-journal", journal, "-grace", "3s")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -650,9 +714,47 @@ func TestSIGTERMDrain(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	// Park a long-running job on the single worker so SIGTERM has a
+	// drain window to observe the probes in.
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"sim","protocol":"asym","p":4,"n":4,"seed":3,"budget":274877906944,"faults":"@999999999999:corrupt=1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Before the signal both probes answer 200.
+	if code, status := probe(t, base+"/healthz"); code != http.StatusOK || status != "ok" {
+		t.Fatalf("pre-drain healthz: %d %q", code, status)
+	}
+	if code, status := probe(t, base+"/readyz"); code != http.StatusOK || status != "ready" {
+		t.Fatalf("pre-drain readyz: %d %q", code, status)
+	}
+
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
+
+	// Readiness must flip to 503 "draining" promptly, while liveness
+	// keeps answering 200 (status "draining") until the process exits.
+	flipDeadline := time.Now().Add(5 * time.Second)
+	for {
+		code, status := probe(t, base+"/readyz")
+		if code == http.StatusServiceUnavailable {
+			if status != "draining" {
+				t.Fatalf("draining readyz status %q", status)
+			}
+			break
+		}
+		if time.Now().After(flipDeadline) {
+			t.Fatalf("readyz never flipped to 503 (last %d %q)", code, status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, status := probe(t, base+"/healthz"); code != http.StatusOK || status != "draining" {
+		t.Fatalf("draining healthz: %d %q", code, status)
+	}
+
 	waited := make(chan error, 1)
 	go func() { waited <- cmd.Wait() }()
 	select {

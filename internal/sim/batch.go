@@ -198,6 +198,16 @@ func RunBatchSupervised(ctx context.Context, pr core.Protocol, trials, workers i
 				if bo.Sink != nil {
 					tsup.Sink = bo.Sink
 				}
+				// One span per trial, parenting the attempt/slice spans
+				// superviseUntil emits. The ID derives from (trace,
+				// parent, "trial", i), not from emission order, so span
+				// trees are identical however workers interleave.
+				var tspan *obs.Span
+				if sup.Trace.Enabled() {
+					tspan = sup.Trace.Start("trial", i)
+					tspan.Trial = i
+					tsup.Trace = tspan.Context()
+				}
 				sr := superviseUntil(ctx, tsup, deadlineAt, func(attempt int) *Runner {
 					t := mkTrial(i, attempt)
 					run := NewRunner(pr, t.Sched, t.Cfg)
@@ -220,6 +230,13 @@ func RunBatchSupervised(ctx context.Context, pr core.Protocol, trials, workers i
 					}
 					return run
 				})
+				if tspan != nil {
+					tspan.Attr("attempts", int64(sr.Attempts)).Attr("steps", int64(sr.Result.Steps)).Attr("nonNull", int64(sr.Result.NonNull))
+					if sr.Result.Converged {
+						tspan.Attr("converged", 1)
+					}
+					tspan.End()
+				}
 				out[i] = BatchResult{Trial: i, Result: sr.Result, Status: sr.Status, Attempts: sr.Attempts, Reason: sr.Reason}
 				busy[w] += time.Since(t0).Nanoseconds()
 			}

@@ -78,6 +78,13 @@ type Supervision struct {
 	Sink obs.Sink
 	// Trial tags emitted records with a batch trial index.
 	Trial int
+	// Trace, when enabled, journals one span per runner attempt and per
+	// supervision slice under it (names "attempt"/"slice", indexed by
+	// attempt resp. slice number), with the attempt's fault injections
+	// attached as span events. The zero value disables tracing at the
+	// cost of one branch per slice — the supervised hot path stays
+	// allocation-free (BenchmarkSupervisedNilTrace).
+	Trace obs.SpanContext
 }
 
 func (sup *Supervision) stepBudget() int {
@@ -162,9 +169,16 @@ func superviseUntil(ctx context.Context, sup Supervision, deadlineAt time.Time, 
 			return SupervisedResult{Status: TrialAborted, Attempts: attempt, Reason: "canceled", WallNS: time.Since(start).Nanoseconds()}
 		}
 		r := mk(attempt)
+		var aspan *obs.Span
+		if sup.Trace.Enabled() {
+			aspan = sup.Trace.Start("attempt", attempt)
+			aspan.Trial = sup.Trial
+		}
+		actx := aspan.Context()
 		res := Result{Final: r.Cfg}
 		reason := ""
 		stalled := false
+		nslice := 0
 		for {
 			if ctx.Err() != nil {
 				reason = "canceled"
@@ -181,7 +195,17 @@ func superviseUntil(ctx context.Context, sup Supervision, deadlineAt time.Time, 
 			if bound > budget {
 				bound = budget
 			}
+			var sspan *obs.Span
+			if aspan != nil {
+				sspan = actx.Start("slice", nslice)
+				sspan.Trial = sup.Trial
+			}
 			res = r.run(bound)
+			if sspan != nil {
+				sspan.Attr("steps", int64(r.steps)).Attr("nonNull", int64(r.nonNull))
+				sspan.End()
+			}
+			nslice++
 			if res.Converged || r.steps >= budget {
 				break
 			}
@@ -192,6 +216,15 @@ func superviseUntil(ctx context.Context, sup Supervision, deadlineAt time.Time, 
 		}
 		if r.Obs != nil {
 			r.Obs.Finish(res.Converged)
+		}
+		if aspan != nil {
+			if r.Inject != nil {
+				for _, f := range r.Inject.Fired() {
+					aspan.Event(f.Event.Kind.String(), f.Step)
+				}
+			}
+			aspan.Attr("slices", int64(nslice)).Attr("steps", int64(r.steps)).Attr("nonNull", int64(r.nonNull))
+			aspan.End()
 		}
 		wall := time.Since(start).Nanoseconds()
 		switch {
