@@ -23,10 +23,16 @@ SERVE_BENCH = BenchmarkServeLoad
 # docs/observability.md "Traces").
 TRACE_BENCH = BenchmarkSpanEmit|BenchmarkSpanEmitJournal|BenchmarkSupervisedNilTrace|BenchmarkSupervisedTraced
 
-.PHONY: check vet build test race race-search race-fault race-serve fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve bench-trace serve
+# Count-engine benchmarks gating the large-N scaling claims: per-step
+# cost flat in N against the agent engine's baseline, plus the
+# fenwick-vs-alias sampler head-to-head that picks the "auto" default
+# (see DESIGN.md "Count-based engine" and EXPERIMENTS.md).
+COUNT_BENCH = BenchmarkCountEngineScale|BenchmarkAgentEngineScale|BenchmarkCountSampler|BenchmarkAliasRebuild
+
+.PHONY: check vet build test race race-search race-fault race-serve race-count fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve bench-trace bench-count serve
 
 # check is the single entry point: everything CI (or a reviewer) needs.
-check: vet build race race-search race-fault race-serve fmt fuzzbuild
+check: vet build race race-search race-fault race-serve race-count fmt fuzzbuild
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +63,12 @@ race-fault:
 # observers and shares job buffers between workers and HTTP streams.
 race-serve:
 	$(GO) test -race -count=1 ./internal/serve ./internal/obs
+
+# race-count re-runs the count-engine tests (including the KS
+# differential and RunCountBatch, which shares a sink across worker
+# goroutines) under the race detector with caching disabled.
+race-count:
+	$(GO) test -race -count=1 -run 'Count' ./internal/sim ./internal/serve ./internal/experiments
 
 # serve runs the simulation service locally on :8080.
 serve:
@@ -110,3 +122,10 @@ bench-serve:
 bench-trace:
 	$(GO) test -json -run='TestSupervisedNilTraceAllocs' -bench='$(TRACE_BENCH)' -benchmem -count=3 ./internal/obs ./internal/sim > BENCH_PR6.json
 	@echo "wrote BENCH_PR6.json ($$(wc -l < BENCH_PR6.json) events)"
+
+# bench-count runs the count-engine scaling and sampler benchmarks and
+# writes the go-test JSON stream to BENCH_PR7.json. The scale series
+# must stay flat: steps/sec within 2x across N = 10^4..10^8.
+bench-count:
+	$(GO) test -json -run='^$$' -bench='$(COUNT_BENCH)' -benchmem -count=3 ./internal/sim > BENCH_PR7.json
+	@echo "wrote BENCH_PR7.json ($$(wc -l < BENCH_PR7.json) events)"

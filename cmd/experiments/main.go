@@ -16,7 +16,17 @@
 //	experiments distribution   exact convergence-time distributions (E20)
 //	experiments oracle         constructive proof schedules (E21)
 //	experiments stabilize      multi-epoch fault injection / re-convergence (E22)
+//	experiments countdiff      count vs agent engine KS differential (E23)
+//	experiments countscale     count-engine throughput at N = 10^3…10^8 (E24)
 //	experiments all            everything above
+//
+// -engine selects the execution engine the suite may assume: "agent"
+// (default) runs everything; "count" restricts the suite to the
+// count-compatible experiments (countdiff, countscale) — "all" then
+// means exactly those two, and explicitly selecting an experiment that
+// needs identity-dependent machinery (agent schedulers, fairness
+// audits, targeted faults, state-graph exploration) is rejected at
+// flag-parse time, naming the incompatibility.
 //
 // With -json the selected experiments are emitted as one JSON document
 // on stdout instead of rendered tables (including a "timings" section
@@ -74,7 +84,26 @@ type results struct {
 	Distributions []experiments.DistPoint          `json:"distributions,omitempty"`
 	Oracle        []experiments.OraclePoint        `json:"oracleSchedules,omitempty"`
 	Stabilize     []experiments.StabilizeResult    `json:"stabilize,omitempty"`
+	CountDiff     []experiments.CountDiffPoint     `json:"countDifferential,omitempty"`
+	CountScale    *experiments.CountScaleResult    `json:"countScale,omitempty"`
 	Timings       []obs.ExperimentRec              `json:"timings,omitempty"`
+}
+
+// engineSelectionError rejects engine/experiment combinations at
+// flag-parse time: an unknown engine name, or an explicitly selected
+// experiment that the count engine cannot run.
+func engineSelectionError(engine, which string) error {
+	switch engine {
+	case "agent":
+		return nil
+	case "count":
+		if which == "all" || experiments.CountCompatible(which) {
+			return nil
+		}
+		return fmt.Errorf("experiment %q needs the agent engine (identity-dependent machinery); -engine count supports: countdiff countscale", which)
+	default:
+		return fmt.Errorf("unknown engine %q (agent | count)", engine)
+	}
 }
 
 // suiteRunner times each selected experiment, journals it, and keeps
@@ -147,6 +176,7 @@ func main() {
 		faults   = flag.String("faults", "", "fault plan for the stabilize experiment, e.g. '@conv:corrupt=2,@conv:crash=1' (default: 3 epochs of @conv:corrupt=2)")
 		deadline = flag.Duration("deadline", 0, "wall-clock deadline per stabilize batch (0: none)")
 		retries  = flag.Int("retries", 0, "stall-retry allowance per stabilize trial")
+		engine   = flag.String("engine", "agent", "execution engine: agent | count (count restricts the suite to count-compatible experiments)")
 	)
 	flag.Parse()
 
@@ -176,6 +206,10 @@ func main() {
 				which, experiments.SuiteKeys())
 			os.Exit(2)
 		}
+	}
+	if err := engineSelectionError(*engine, which); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -engine:", err)
+		os.Exit(2)
 	}
 
 	seed, derived := obs.ResolveSeed(*seedFlag)
@@ -235,9 +269,18 @@ func main() {
 	}
 
 	runAll := which == "all"
+	// sel gates each experiment: selected by name or by "all", minus
+	// whatever the chosen engine cannot run (under -engine count, "all"
+	// shrinks to the count-compatible experiments).
+	sel := func(key string) bool {
+		if *engine == "count" && !experiments.CountCompatible(key) {
+			return false
+		}
+		return runAll || which == key
+	}
 	out := results{Seed: seed}
 
-	if runAll || which == "table1" {
+	if sel("table1") {
 		sr.run("table1", func() bool {
 			cells := experiments.Table1(experiments.Table1Options{P: *p, ModelCheckP: *mcp, Seed: seed})
 			out.Table1 = cells
@@ -253,7 +296,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "sweep" {
+	if sel("sweep") {
 		sr.run("sweep", func() bool {
 			out.Sweeps = experiments.StandardSweeps(seed)
 			if !*asJSON {
@@ -263,7 +306,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "fullpop" {
+	if sel("fullpop") {
 		sr.run("fullpop", func() bool {
 			fp := experiments.FullPopulationCost(seed, *maxP)
 			out.FullPop = &fp
@@ -274,7 +317,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "recovery" {
+	if sel("recovery") {
 		sr.run("recovery", func() bool {
 			out.Recovery = experiments.StandardRecovery(seed)
 			if !*asJSON {
@@ -284,7 +327,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "ablation" {
+	if sel("ablation") {
 		sr.run("ablation", func() bool {
 			ab := experiments.UStarAblation(3)
 			out.UStarAblation = &ab
@@ -295,7 +338,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "separation" {
+	if sel("separation") {
 		sr.run("separation", func() bool {
 			sep := experiments.FairnessSeparation(3, seed)
 			out.Separation = &sep
@@ -306,7 +349,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "slack" {
+	if sel("slack") {
 		sr.run("slack", func() bool {
 			out.Slack = experiments.StandardSlack(seed)
 			if !*asJSON {
@@ -316,7 +359,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "resetablation" {
+	if sel("resetablation") {
 		sr.run("resetablation", func() bool {
 			ra := experiments.ResetAblation(2)
 			out.ResetAblation = &ra
@@ -327,7 +370,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "exact" {
+	if sel("exact") {
 		sr.run("exact", func() bool {
 			out.Exact = experiments.ExactTimes()
 			if !*asJSON {
@@ -337,7 +380,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "thm11" {
+	if sel("thm11") {
 		sr.run("thm11", func() bool {
 			out.Thm11 = experiments.Thm11Scaling(6, 500_000, seed)
 			if !*asJSON {
@@ -347,7 +390,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "trajectory" {
+	if sel("trajectory") {
 		sr.run("trajectory", func() bool {
 			out.Trajectories = experiments.StandardTrajectories(seed)
 			if !*asJSON {
@@ -357,7 +400,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "distribution" {
+	if sel("distribution") {
 		sr.run("distribution", func() bool {
 			out.Distributions = experiments.Distributions(2000, seed)
 			if !*asJSON {
@@ -367,7 +410,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "oracle" {
+	if sel("oracle") {
 		sr.run("oracle", func() bool {
 			out.Oracle = experiments.OracleSchedules(seed)
 			if !*asJSON {
@@ -377,7 +420,7 @@ func main() {
 			return true
 		})
 	}
-	if runAll || which == "stabilize" {
+	if sel("stabilize") {
 		sr.run("stabilize", func() bool {
 			opts := experiments.StabilizeOptions{
 				Seed:      seed,
@@ -403,6 +446,32 @@ func main() {
 				}
 			}
 			return len(out.Stabilize) > 0
+		})
+	}
+	if sel("countdiff") {
+		sr.run("countdiff", func() bool {
+			out.CountDiff = experiments.CountDifferential(experiments.CountDiffOptions{Seed: seed})
+			if !*asJSON {
+				experiments.RenderCountDiff(os.Stdout, out.CountDiff)
+				fmt.Println()
+			}
+			for _, pt := range out.CountDiff {
+				if !pt.OK {
+					return false
+				}
+			}
+			return len(out.CountDiff) > 0
+		})
+	}
+	if sel("countscale") {
+		sr.run("countscale", func() bool {
+			cs := experiments.CountScale(experiments.CountScaleOptions{Seed: seed})
+			out.CountScale = &cs
+			if !*asJSON {
+				experiments.RenderCountScale(os.Stdout, cs)
+				fmt.Println()
+			}
+			return len(cs.Points) > 0
 		})
 	}
 	out.Timings = sr.timings

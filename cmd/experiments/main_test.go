@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"popnaming/internal/experiments"
+)
+
+func TestEngineSelectionError(t *testing.T) {
+	cases := []struct {
+		engine, which string
+		wantErr       string // substring, "" = accepted
+	}{
+		{"agent", "all", ""},
+		{"agent", "table1", ""},
+		{"agent", "countdiff", ""},
+		{"count", "all", ""},
+		{"count", "countdiff", ""},
+		{"count", "countscale", ""},
+		{"count", "table1", "needs the agent engine"},
+		{"count", "sweep", "needs the agent engine"},
+		{"count", "stabilize", "needs the agent engine"},
+		{"warp", "all", "unknown engine"},
+	}
+	for _, c := range cases {
+		err := engineSelectionError(c.engine, c.which)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("engineSelectionError(%q, %q) = %v, want accept", c.engine, c.which, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("engineSelectionError(%q, %q) = %v, want error containing %q", c.engine, c.which, err, c.wantErr)
+		}
+	}
+}
+
+// TestEngineSelectionCoversSuite pins the contract the -engine count
+// gate relies on: every suite key either runs under count or is
+// rejected with the structured flag-parse error — no silent third path.
+func TestEngineSelectionCoversSuite(t *testing.T) {
+	for _, e := range experiments.Suite() {
+		err := engineSelectionError("count", e.Key)
+		if experiments.CountCompatible(e.Key) != (err == nil) {
+			t.Errorf("key %q: CountCompatible=%v but engineSelectionError=%v", e.Key, experiments.CountCompatible(e.Key), err)
+		}
+	}
+}

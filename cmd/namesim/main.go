@@ -11,6 +11,16 @@
 //	namesim -protocol asym -engine interp -seed 7   # force interface dispatch
 //	namesim -protocol selfstab -init arbitrary -faults '@conv:corrupt=3,@conv:corrupt=3'
 //	namesim -protocol asym -faults '@5000:crash=1' -deadline 30s -retries 2
+//	namesim -protocol asym -engine count -n 100000000 -budget 10000000
+//
+// -engine count selects the count-based (Gillespie) engine: the
+// configuration is per-state counts, per-step cost is independent of N,
+// and N may exceed P (naming is then unachievable by pigeonhole — the
+// large-N scaling regime). The count engine knows no agent identities,
+// so it is restricted to -sched random and -init zero|uniform, and the
+// identity-dependent flags (-audit, -adversary, -faults, -deadline,
+// -retries, -stall) are rejected at flag-parse time; -sampler picks the
+// state sampler (auto | fenwick | alias).
 //
 // Fault injection (see docs/robustness.md): -faults takes a fault-plan
 // string (events "@step:kind=arg" or "@conv:kind=arg"; kinds corrupt,
@@ -58,6 +68,7 @@ type options struct {
 	sched    string
 	init     string
 	engine   string
+	sampler  string
 	seed     int64
 	derived  bool
 	budget   int
@@ -89,7 +100,8 @@ func main() {
 		n        = flag.Int("n", 0, "population size N (default P)")
 		schedKey = flag.String("sched", "random", "scheduler: random | roundrobin | matching | eclipse")
 		initKey  = flag.String("init", "zero", "initialization: zero | uniform | arbitrary")
-		engine   = flag.String("engine", "compiled", "execution engine: compiled | interp")
+		engine   = flag.String("engine", "compiled", "execution engine: compiled | interp | count")
+		sampler  = flag.String("sampler", "auto", "count-engine state sampler: auto | fenwick | alias")
 		seed     = flag.Int64("seed", 1, "random seed (0: auto-derive from the clock; the seed used is printed)")
 		budget   = flag.Int("budget", 50_000_000, "max interactions")
 		audit    = flag.Bool("audit", false, "audit the played schedule for weak fairness")
@@ -117,7 +129,8 @@ func main() {
 	}
 	o := options{
 		proto: *protoKey, p: *p, n: *n, sched: *schedKey, init: *initKey, engine: *engine,
-		budget: *budget, audit: *audit, adv: *adv, hidden: *hidden, hide: *hide,
+		sampler: *sampler,
+		budget:  *budget, audit: *audit, adv: *adv, hidden: *hidden, hide: *hide,
 		faults: *faults, deadline: *deadline, retries: *retries, stall: *stall,
 		journal: *journal, metrics: *metrics, progress: *progress, pprof: *pprofPfx,
 	}
@@ -135,10 +148,46 @@ func main() {
 		}
 		os.Exit(2)
 	}
+	// The count engine has no agent identities: reject identity-dependent
+	// flag combinations here, before any protocol or journal setup, with
+	// the incompatible feature named.
+	if o.engine == "count" {
+		if msg := countIncompatibility(o); msg != "" {
+			fmt.Fprintf(os.Stderr, "namesim: -engine count: incompatible flag %s\n", msg)
+			os.Exit(2)
+		}
+	} else if o.sampler != "auto" {
+		fmt.Fprintln(os.Stderr, "namesim: -sampler requires -engine count")
+		os.Exit(2)
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "namesim:", err)
 		os.Exit(1)
 	}
+}
+
+// countIncompatibility returns a description of the first flag that the
+// count engine cannot honor, or "" when the selection is count-runnable.
+// The count engine sees per-state counts only; anything that addresses
+// an individual agent has no meaning there.
+func countIncompatibility(o options) string {
+	switch {
+	case o.adv:
+		return "-adversary (the greedy adversary picks individual agents)"
+	case o.faults != "":
+		return "-faults (fault kinds target individual agents)"
+	case o.supervised():
+		return "-deadline/-retries/-stall (the supervised runner is agent-engine only)"
+	case o.audit:
+		return "-audit (a fairness audit needs the agent-level schedule)"
+	case o.sched != "random":
+		return "-sched " + o.sched + " (count dynamics are defined only for the uniform random scheduler)"
+	case o.init == "arbitrary":
+		return "-init arbitrary (arbitrary initialization draws an agent array)"
+	case !sim.ValidCountSampler(o.sampler):
+		return "-sampler " + o.sampler + " (want auto | fenwick | alias)"
+	}
+	return ""
 }
 
 func run(o options) (err error) {
@@ -149,14 +198,19 @@ func run(o options) (err error) {
 	if o.n == 0 {
 		o.n = o.p
 	}
-	if o.n > o.p {
+	// The agent engine needs one slot per agent, so N is bounded by P;
+	// count dynamics are defined for any N (naming is then unachievable
+	// when N > P, which is exactly the large-N scaling regime).
+	if o.engine != "count" && o.n > o.p {
 		return fmt.Errorf("population size %d exceeds bound P=%d", o.n, o.p)
 	}
 	proto := spec.New(o.p)
 
-	cfg, err := buildConfig(proto, o.n, o.init, o.seed)
-	if err != nil {
-		return err
+	var cfg *core.Config
+	if o.engine != "count" {
+		if cfg, err = buildConfig(proto, o.n, o.init, o.seed); err != nil {
+			return err
+		}
 	}
 
 	if o.pprof != "" {
@@ -185,6 +239,9 @@ func run(o options) (err error) {
 		}()
 	}
 
+	if o.engine == "count" {
+		return runCount(proto, o, sink)
+	}
 	if o.adv {
 		if o.supervised() {
 			return fmt.Errorf("-faults/-deadline/-retries/-stall cannot be combined with -adversary")
@@ -422,6 +479,78 @@ func runAdversarial(proto core.Protocol, cfg *core.Config, o options, sink *obs.
 		observer.Dump(os.Stdout)
 	}
 	return nil
+}
+
+// runCount drives the count-based engine: the configuration is
+// per-state counts (core.CountConfig), the pair law is the uniform
+// random scheduler's, and the per-step cost is independent of N.
+// Journals from this path carry engine:"count", census records instead
+// of pair statistics, and the same per-rule fire counts as agent runs.
+func runCount(proto core.Protocol, o options, sink *obs.JournalSink) error {
+	cc, err := buildCountConfig(proto, o.n, o.init)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol %s (P=%d, %d states/agent, symmetric=%v, leader=%v)\n",
+		proto.Name(), proto.P(), proto.States(), proto.Symmetric(), core.HasLeader(proto))
+	fmt.Printf("population N=%d, engine count (sampler %s), init %s, seed %d%s\n",
+		o.n, o.sampler, o.init, o.seed, seedNote(o.derived))
+	fmt.Printf("start: %s\n", cc)
+	if sink != nil {
+		hdr := header("namesim", proto, o)
+		hdr.Engine = "count"
+		hdr.Scheduler = "random"
+		if herr := sink.Emit(hdr); herr != nil {
+			return herr
+		}
+	}
+	runner, err := sim.NewCountRunner(proto, cc, o.seed)
+	if err != nil {
+		return err
+	}
+	runner.Sampler = o.sampler
+	var observer *obs.Observer
+	if sink != nil || o.metrics {
+		observer = obs.NewObserver(o.n, core.HasLeader(proto), obs.ObserverOptions{
+			Sink:          sink,
+			ProgressEvery: o.progress,
+			NoPairs:       true,
+		})
+		runner.Obs = observer
+	}
+	res, err := runner.Run(o.budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result: %s\n", res)
+	fmt.Printf("valid naming: %v\n", cc.ValidNaming())
+	if res.Converged {
+		fmt.Printf("parallel time: %.1f\n", res.ParallelTime(o.n))
+	}
+	if o.metrics {
+		fmt.Println()
+		observer.Dump(os.Stdout)
+	}
+	return nil
+}
+
+// buildCountConfig builds the starting counts for the count engine.
+// Only the identity-free initializations are representable: all-zero
+// and the protocol's uniform start ("arbitrary" draws an agent array).
+func buildCountConfig(proto core.Protocol, n int, initKey string) (*core.CountConfig, error) {
+	switch initKey {
+	case "zero":
+		cc := core.NewCountConfig(proto.States())
+		cc.Counts[0] = n
+		if lp, ok := proto.(core.LeaderProtocol); ok {
+			cc.Leader = lp.InitLeader()
+		}
+		return cc, nil
+	case "uniform":
+		return sim.UniformCountConfig(proto, n), nil
+	default:
+		return nil, fmt.Errorf("init %q is not count-representable (zero | uniform)", initKey)
+	}
 }
 
 func header(tool string, proto core.Protocol, o options) obs.Header {

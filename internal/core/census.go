@@ -37,6 +37,26 @@ func NewCensus(tab *Compiled, cfg *Config) (*Census, error) {
 	return cs, nil
 }
 
+// NewCensusCounts builds a census directly over an occupancy vector,
+// sharing the slice: every Apply/ApplyOne flows back into counts, so a
+// CountConfig and its census stay in lockstep without copying. This is
+// the count engine's entry point — it never materializes an agent
+// array. len(counts) must equal tab.States() and counts must be
+// non-negative.
+func NewCensusCounts(tab *Compiled, counts []int) (*Census, error) {
+	if len(counts) != tab.States() {
+		return nil, fmt.Errorf("core: census: counts length %d != states %d", len(counts), tab.States())
+	}
+	for s, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("core: census: negative count %d for state %d", c, s)
+		}
+	}
+	cs := &Census{tab: tab, counts: counts}
+	cs.active = cs.recount()
+	return cs, nil
+}
+
 // recount recomputes activePairs from scratch (O(occupied²) bit tests).
 func (cs *Census) recount() int {
 	active := 0

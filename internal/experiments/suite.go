@@ -30,7 +30,22 @@ func Suite() []SuiteEntry {
 		{"distribution", "E20", "exact convergence-time distributions"},
 		{"oracle", "E21", "constructive proof schedules"},
 		{"stabilize", "E22", "multi-epoch fault injection / re-convergence"},
+		{"countdiff", "E23", "count vs agent engine KS differential"},
+		{"countscale", "E24", "count-engine throughput at N = 10^3...10^8"},
 	}
+}
+
+// CountCompatible reports whether the experiment registered under key
+// can run entirely on the count engine. Everything else in the suite
+// leans on identity-dependent machinery — agent-array schedulers,
+// fairness audits, targeted faults, exhaustive state-graph exploration —
+// that a counts-only representation cannot express.
+func CountCompatible(key string) bool {
+	switch key {
+	case "countdiff", "countscale":
+		return true
+	}
+	return false
 }
 
 // SuiteKeys returns the experiment selectors in suite run order.

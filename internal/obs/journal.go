@@ -40,8 +40,15 @@ func NewJournalSink(w io.Writer) *JournalSink {
 	return &JournalSink{w: w}
 }
 
-// Emit implements Sink.
+// Emit implements Sink. A nil *JournalSink drops the record: callers
+// routinely store an optional journal in a typed pointer and pass it
+// through the Sink interface, where a nil-pointer sink is no longer ==
+// nil — the receiver guard keeps that ubiquitous pattern from panicking
+// in metrics-only runs.
 func (s *JournalSink) Emit(rec any) error {
+	if s == nil {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
@@ -60,8 +67,12 @@ func (s *JournalSink) Emit(rec any) error {
 	return nil
 }
 
-// Err returns the first error encountered by Emit, if any.
+// Err returns the first error encountered by Emit, if any. Like Emit
+// it tolerates a nil receiver.
 func (s *JournalSink) Err() error {
+	if s == nil {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
@@ -121,6 +132,10 @@ type Header struct {
 	// Trace is the trace ID of a traced run (see SpanRec), derived from
 	// Seed, so clients can correlate the stream's span records up front.
 	Trace string `json:"trace,omitempty"`
+
+	// Engine names the execution engine ("agent" or "count"); absent
+	// means the agent engine, so pre-existing journals read unchanged.
+	Engine string `json:"engine,omitempty"`
 }
 
 // NewHeader returns a header record for the named tool.
@@ -201,6 +216,19 @@ type BatchSummaryRec struct {
 	Workers     int     `json:"workers"`
 	WallNS      int64   `json:"wallNs"`
 	Utilization float64 `json:"utilization"`
+}
+
+// CensusRec snapshots the per-state occupancy vector of a count-engine
+// run. It follows every progress record (and the final one emitted by
+// Finish) when the driver attached the census via Observer.TrackCensus;
+// Counts[s] is the number of agents in state s at Step.
+type CensusRec struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+
+	Trial  int    `json:"trial"`
+	Step   uint64 `json:"step"`
+	Counts []int  `json:"counts"`
 }
 
 // FaultRec journals one fault-layer event: an injected fault fired by a

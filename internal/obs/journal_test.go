@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"popnaming/internal/core"
 )
 
 func TestJournalSinkRecords(t *testing.T) {
@@ -141,4 +143,23 @@ func TestOpenJournal(t *testing.T) {
 	if hdr.Tool != "test" {
 		t.Fatalf("tool = %q", hdr.Tool)
 	}
+}
+
+// TestNilJournalSink pins the nil-receiver contract: an optional
+// journal stored as a typed *JournalSink pointer flows into the Sink
+// interface even when nil, and metrics-only observers must be able to
+// emit through it without panicking.
+func TestNilJournalSink(t *testing.T) {
+	var s *JournalSink
+	if err := s.Emit(NewHeader("test")); err != nil {
+		t.Fatalf("nil sink Emit: %v", err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("nil sink Err: %v", err)
+	}
+	o := NewObserver(4, false, ObserverOptions{Sink: s, ProgressEvery: 1})
+	o.ObservePair(core.Pair{A: 0, B: 1}, true)
+	o.TrackCensus([]int{2, 2})
+	o.ObserveRule(0, 1, 1, 1, true)
+	o.Finish(true)
 }

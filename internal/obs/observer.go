@@ -27,6 +27,11 @@ type ObserverOptions struct {
 	// Trial tags every emitted record with a batch trial index
 	// (0 for single runs).
 	Trial int
+	// NoPairs disables the per-pair last-seen table regardless of
+	// population size. The count engine sets it: count-space runs have
+	// no agent identities to track, and at its populations (up to 2³²)
+	// even computing the table size would overflow.
+	NoPairs bool
 }
 
 // Observer accumulates the metrics of one execution: interaction and
@@ -66,6 +71,11 @@ type Observer struct {
 	pairTrack bool
 	lastSeen  []int64
 	pairsSeen int
+
+	// censusCounts, when set by TrackCensus, is the live occupancy
+	// vector of a count-engine run; every progress emission is followed
+	// by a census record snapshotting it.
+	censusCounts []int
 }
 
 // NewObserver returns an observer for a population of n mobile agents
@@ -88,7 +98,9 @@ func NewObserver(n int, withLeader bool, opts ObserverOptions) *Observer {
 	if opts.ProgressEvery > 0 {
 		o.progressEvery = uint64(opts.ProgressEvery)
 	}
-	if m*m <= maxTrackedPairs {
+	// m ≤ 2¹¹ implies m·m ≤ maxTrackedPairs; testing m first keeps the
+	// product from overflowing at count-engine populations.
+	if !opts.NoPairs && m <= 1<<11 && m*m <= maxTrackedPairs {
 		o.pairTrack = true
 		o.lastSeen = make([]int64, m*m)
 		for i := range o.lastSeen {
@@ -179,7 +191,6 @@ func (o *Observer) ObserveLeader(p core.Pair, x, x2 core.State, changed bool) {
 // as the adversarial runner's OnStep hook.
 func (o *Observer) ObservePair(p core.Pair, changed bool) {
 	step := int64(o.steps.Value())
-	o.steps.Inc()
 	if o.pairTrack {
 		idx := (p.A-o.lo)*o.m + (p.B - o.lo)
 		if idx >= 0 && idx < len(o.lastSeen) {
@@ -189,6 +200,43 @@ func (o *Observer) ObservePair(p core.Pair, changed bool) {
 			o.lastSeen[idx] = step
 		}
 	}
+	o.observeStep(changed)
+}
+
+// ObserveRule records a mobile-mobile interaction by its states alone —
+// the count engine's identity-free analogue of ObserveMobile. It
+// requires CompileRules to have installed the dense rule table.
+func (o *Observer) ObserveRule(x, y, x2, y2 core.State, changed bool) {
+	if changed {
+		if o.rulesDense != nil {
+			o.rulesDense[o.ruleTab.Idx(x, y)]++
+		} else {
+			o.rules[RuleKey{X: x, Y: y, X2: x2, Y2: y2}]++
+		}
+	}
+	o.observeStep(changed)
+}
+
+// ObserveLeaderRule records a leader-mobile interaction by the mobile
+// peer's before/after states — the identity-free ObserveLeader.
+func (o *Observer) ObserveLeaderRule(x, x2 core.State, changed bool) {
+	if changed {
+		o.rules[RuleKey{Leader: true, X: x, X2: x2}]++
+	}
+	o.observeStep(changed)
+}
+
+// TrackCensus attaches a live occupancy vector: every progress emission
+// (and Finish) is then followed by a census record snapshotting the
+// per-state counts. The slice is read, never written; the caller must
+// be the single goroutine driving the observer.
+func (o *Observer) TrackCensus(counts []int) { o.censusCounts = counts }
+
+// observeStep advances the interaction counters and quiet streak and
+// emits the periodic progress snapshot — the shared tail of every
+// Observe* method.
+func (o *Observer) observeStep(changed bool) {
+	o.steps.Inc()
 	if changed {
 		o.nonNull.Inc()
 		if q := atomic.LoadInt64(&o.quiet); q > 0 {
@@ -199,7 +247,24 @@ func (o *Observer) ObservePair(p core.Pair, changed bool) {
 		atomic.AddInt64(&o.quiet, 1)
 	}
 	if o.progressEvery > 0 && o.sink != nil && o.steps.Value()%o.progressEvery == 0 {
-		_ = o.sink.Emit(o.snapshot())
+		o.emitProgress()
+	}
+}
+
+// emitProgress emits a progress snapshot, followed by a census record
+// when a count-engine occupancy vector is attached.
+func (o *Observer) emitProgress() {
+	_ = o.sink.Emit(o.snapshot())
+	if o.censusCounts != nil {
+		counts := make([]int, len(o.censusCounts))
+		copy(counts, o.censusCounts)
+		_ = o.sink.Emit(CensusRec{
+			V:      Version,
+			Type:   "census",
+			Trial:  o.trial,
+			Step:   o.steps.Value(),
+			Counts: counts,
+		})
 	}
 }
 
@@ -323,7 +388,7 @@ func (o *Observer) Finish(converged bool) {
 	}
 	o.finished = true
 	if o.sink != nil {
-		_ = o.sink.Emit(o.snapshot())
+		o.emitProgress()
 	}
 	if q := atomic.LoadInt64(&o.quiet); q > 0 {
 		o.quietHist.Observe(q)

@@ -12,6 +12,7 @@ import (
 	"popnaming/internal/experiments"
 	"popnaming/internal/fault"
 	"popnaming/internal/obs"
+	"popnaming/internal/sim"
 )
 
 // Job kinds accepted by POST /v1/jobs.
@@ -76,6 +77,19 @@ type Spec struct {
 	Sched string `json:"sched,omitempty"`
 	Init  string `json:"init,omitempty"`
 
+	// Engine selects the execution engine for sim and batch jobs:
+	// "agent" (or empty, the default) runs the agent-array engine;
+	// "count" runs the count-based (Gillespie) engine, whose per-step
+	// cost is independent of N — N may then exceed P, up to the
+	// pair-weight overflow bound. The count engine has no agent
+	// identities, so identity-dependent features (campaign/table1 kinds,
+	// fault plans, supervision, non-random schedulers, arbitrary init)
+	// are rejected at admission with a structured 400 naming the
+	// feature. Sampler picks its state sampler (auto | fenwick | alias;
+	// count jobs only).
+	Engine  string `json:"engine,omitempty"`
+	Sampler string `json:"sampler,omitempty"`
+
 	// Seed is the base RNG seed (0: auto-derive; echoed back).
 	Seed int64 `json:"seed,omitempty"`
 	// Budget is the per-trial interaction budget (default 50M; table1
@@ -129,12 +143,24 @@ type Error struct {
 	Offset        int    `json:"offset,omitempty"`
 	Token         string `json:"token,omitempty"`
 	RetryAfterSec int    `json:"retryAfterSec,omitempty"`
+	// Feature names the identity-dependent feature a count-engine job
+	// asked for (kind "count-incompatible" rejections), so clients can
+	// fix the one offending field instead of parsing prose.
+	Feature string `json:"feature,omitempty"`
 }
 
 func (e *Error) Error() string { return e.Message }
 
 func badRequest(format string, args ...any) *Error {
 	return &Error{Status: http.StatusBadRequest, Kind: "validation", Message: fmt.Sprintf(format, args...)}
+}
+
+// countBadRequest is the structured rejection for a count-engine job
+// that asked for identity-dependent machinery: a 400 whose Feature
+// field names the incompatible feature.
+func countBadRequest(feature, format string, args ...any) *Error {
+	return &Error{Status: http.StatusBadRequest, Kind: "count-incompatible",
+		Feature: feature, Message: fmt.Sprintf(format, args...)}
 }
 
 // validated is a Spec that passed admission: defaults filled, seed
@@ -160,6 +186,33 @@ func prepare(spec Spec) (*validated, *Error) {
 		return nil, badRequest("missing job kind (sim | batch | campaign | table1)")
 	default:
 		return nil, badRequest("unknown job kind %q (sim | batch | campaign | table1)", sp.Kind)
+	}
+	switch sp.Engine {
+	case "", "agent", "count":
+	default:
+		return nil, badRequest("unknown engine %q (agent | count)", sp.Engine)
+	}
+	// The count engine knows no agent identities: everything that
+	// addresses an individual agent is rejected here, at admission, with
+	// the offending feature named in the error body.
+	if sp.Engine == "count" {
+		if sp.Kind == KindCampaign || sp.Kind == KindTable1 {
+			return nil, countBadRequest("kind:"+sp.Kind,
+				"%s jobs need the agent engine (fault campaigns and Table 1 cells drive identity-dependent machinery); the count engine supports kinds sim | batch", sp.Kind)
+		}
+		if sp.Faults != "" {
+			return nil, countBadRequest("faults",
+				"count-engine jobs cannot inject faults: fault kinds target individual agents")
+		}
+		if sp.DeadlineMS != 0 || sp.Retries != 0 || sp.Stall != 0 {
+			return nil, countBadRequest("supervision",
+				"count-engine jobs run unsupervised: deadlineMs/retries/stall are agent-engine features")
+		}
+		if !sim.ValidCountSampler(sp.Sampler) {
+			return nil, badRequest("unknown sampler %q (auto | fenwick | alias)", sp.Sampler)
+		}
+	} else if sp.Sampler != "" {
+		return nil, badRequest("sampler applies to count-engine jobs only (set \"engine\": \"count\")")
 	}
 	sp.Seed, v.seedDerived = obs.ResolveSeed(sp.Seed)
 	if sp.Budget == 0 {
@@ -236,7 +289,14 @@ func prepare(spec Spec) (*validated, *Error) {
 	if sp.N == 0 {
 		sp.N = sp.P
 	}
-	if sp.N < 1 || sp.N > sp.P {
+	if sp.N < 1 {
+		return nil, badRequest("population size n %d outside [1,p=%d]", sp.N, sp.P)
+	}
+	// The agent engine needs one slot per agent, bounding N by P. Count
+	// dynamics are defined for any N (naming is then unachievable when
+	// N > P — the large-N scaling regime); the count runner probe in
+	// validateRun enforces the pair-weight overflow bound instead.
+	if sp.N > sp.P && sp.Engine != "count" {
 		return nil, badRequest("population size n %d outside [1,p=%d]", sp.N, sp.P)
 	}
 
@@ -310,6 +370,9 @@ func prepare(spec Spec) (*validated, *Error) {
 
 // validateRun checks the sim/batch sched/init keys by probing the
 // builders once, so the per-attempt builders on the worker cannot fail.
+// For count-engine jobs the probe is a throwaway CountRunner, which
+// also enforces the compiled-table state cap and the pair-weight
+// overflow bound on N.
 func validateRun(v *validated) *Error {
 	sp := &v.spec
 	if sp.Sched == "" {
@@ -317,6 +380,24 @@ func validateRun(v *validated) *Error {
 	}
 	if sp.Init == "" {
 		sp.Init = "zero"
+	}
+	if sp.Engine == "count" {
+		if sp.Sched != "random" {
+			return countBadRequest("sched:"+sp.Sched,
+				"count dynamics are defined only for the uniform random scheduler (got %q)", sp.Sched)
+		}
+		if sp.Init == "arbitrary" {
+			return countBadRequest("init:arbitrary",
+				"arbitrary initialization draws an agent array; count-engine jobs take init zero | uniform")
+		}
+		cc, err := buildCountStart(v.proto, sp.N, sp.Init)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		if _, err := sim.NewCountRunner(v.proto, cc, sp.Seed); err != nil {
+			return badRequest("%v", err)
+		}
+		return nil
 	}
 	if _, err := buildConfig(v.proto, sp.N, sp.Init, sp.Seed); err != nil {
 		return badRequest("%v", err)
@@ -405,6 +486,8 @@ type JobView struct {
 	N           int      `json:"n,omitempty"`
 	Sched       string   `json:"sched,omitempty"`
 	Init        string   `json:"init,omitempty"`
+	Engine      string   `json:"engine,omitempty"`
+	Sampler     string   `json:"sampler,omitempty"`
 	Faults      string   `json:"faults,omitempty"`
 	Budget      int      `json:"budget,omitempty"`
 	Trials      int      `json:"trials,omitempty"`
@@ -432,6 +515,7 @@ func (j *Job) view() JobView {
 	view := JobView{
 		ID: j.ID, Kind: sp.Kind, State: j.state,
 		Protocol: sp.Protocol, P: sp.P, N: sp.N, Sched: sp.Sched, Init: sp.Init,
+		Engine: sp.Engine, Sampler: sp.Sampler,
 		Faults: sp.Faults, Budget: sp.Budget, Trials: sp.Trials, Workers: sp.Workers,
 		Seed: sp.Seed, SeedDerived: j.v.seedDerived,
 		Records: j.buf.len(), Error: j.errMsg, WallNS: j.wallNS, Summary: j.summary,

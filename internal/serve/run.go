@@ -36,6 +36,26 @@ func buildConfig(proto core.Protocol, n int, initKey string, seed int64) (*core.
 	}
 }
 
+// buildCountStart mirrors buildConfig in count space: the subset of
+// initialization keys whose starting configurations are exchangeable —
+// fully described by per-state counts. "arbitrary" draws an agent
+// array and is rejected at admission before this is reached.
+func buildCountStart(proto core.Protocol, n int, initKey string) (*core.CountConfig, error) {
+	switch initKey {
+	case "zero":
+		cc := core.NewCountConfig(proto.States())
+		cc.Counts[0] = n
+		if lp, ok := proto.(core.LeaderProtocol); ok {
+			cc.Leader = lp.InitLeader()
+		}
+		return cc, nil
+	case "uniform":
+		return sim.UniformCountConfig(proto, n), nil
+	default:
+		return nil, fmt.Errorf("init %q is not count-representable (zero | uniform)", initKey)
+	}
+}
+
 // buildScheduler mirrors the CLI scheduler keys minus eclipse (an
 // attack-study scheduler with extra knobs the job schema doesn't
 // carry). The per-trial scheduler seed is trialSeed+1, matching the
@@ -80,6 +100,9 @@ func (j *Job) header() obs.Header {
 	} else {
 		hdr.P = sp.P
 	}
+	if sp.Engine == "count" {
+		hdr.Engine = "count"
+	}
 	if j.traceID != 0 {
 		hdr.Trace = j.traceID.String()
 	}
@@ -115,10 +138,17 @@ func (s *Server) execute(j *Job) error {
 		return err
 	}
 	j.queueSpan.End()
+	count := j.v.spec.Engine == "count"
 	switch j.v.spec.Kind {
 	case KindSim:
+		if count {
+			return s.runCountSim(j)
+		}
 		return s.runSim(j)
 	case KindBatch:
+		if count {
+			return s.runCountBatch(j)
+		}
 		return s.runBatch(j)
 	case KindCampaign:
 		return s.runCampaign(j)
@@ -176,6 +206,85 @@ func (s *Server) runSim(j *Job) error {
 	if sr.Converged {
 		s.met.trialsConverged.Inc()
 	}
+	return nil
+}
+
+// runCountSim executes one count-engine trial. The engine seed is
+// sp.Seed+1 — the scheduler-seed role (see CountRunner.Seed), matching
+// runSim's attempt-0 scheduler wiring, so a count sim job and the
+// equivalent namesim -engine count run share the seed recipe shape.
+func (s *Server) runCountSim(j *Job) error {
+	sp := j.v.spec
+	pr := j.v.proto
+	cc, err := buildCountStart(pr, sp.N, sp.Init)
+	if err != nil {
+		return err
+	}
+	runner, err := sim.NewCountRunner(pr, cc, sp.Seed+1)
+	if err != nil {
+		return err
+	}
+	runner.Sampler = sp.Sampler
+	runner.Interrupt = func() bool { return j.ctx.Err() != nil }
+	o := obs.NewObserver(sp.N, core.HasLeader(pr), obs.ObserverOptions{
+		Sink:          j.buf,
+		ProgressEvery: sp.ProgressEvery,
+		NoPairs:       true,
+	})
+	runner.Obs = o
+	j.setLive(o)
+	res, err := runner.Run(sp.Budget)
+	if err != nil {
+		return err
+	}
+	status, reason := "ok", ""
+	if j.ctx.Err() != nil {
+		status, reason = "aborted", "interrupt"
+	}
+	j.setSummary(&JobSummary{
+		Status:      status,
+		Reason:      reason,
+		Converged:   res.Converged,
+		ValidNaming: cc.ValidNaming(),
+		Steps:       int64(res.Steps),
+		NonNull:     int64(res.NonNull),
+		OK:          j.ctx.Err() == nil,
+	})
+	s.met.trialSteps.Add(uint64(res.Steps))
+	s.met.trialNonNull.Add(uint64(res.NonNull))
+	s.met.trialsRun.Inc()
+	if res.Converged {
+		s.met.trialsConverged.Inc()
+	}
+	return nil
+}
+
+// runCountBatch executes independent count-engine trials with the
+// batch seed recipe: trialSeed = DeriveSeed(jobSeed, trial, 0), engine
+// seed trialSeed+1 (the scheduler-seed role), so a seeded count batch
+// replays the equivalent direct sim.RunCountBatch call.
+func (s *Server) runCountBatch(j *Job) error {
+	sp := j.v.spec
+	pr := j.v.proto
+	bo := sim.BatchObs{Sink: j.buf, ProgressEvery: sp.ProgressEvery}
+	sum := sim.RunCountBatch(j.ctx, pr, sp.Trials, sp.Budget, sp.Workers, bo,
+		func(trial int) sim.CountTrial {
+			seed := sim.DeriveSeed(sp.Seed, trial, 0)
+			cc, _ := buildCountStart(pr, sp.N, sp.Init)
+			return sim.CountTrial{Cfg: cc, Seed: seed + 1, Sampler: sp.Sampler}
+		})
+	j.setSummary(&JobSummary{
+		Trials:          sum.Trials,
+		TrialsConverged: sum.Converged,
+		Aborted:         sum.Aborted,
+		Steps:           sum.TotalSteps,
+		NonNull:         sum.TotalNonNull,
+		OK:              sum.Converged == sum.Trials,
+	})
+	s.met.trialSteps.Add(uint64(sum.TotalSteps))
+	s.met.trialNonNull.Add(uint64(sum.TotalNonNull))
+	s.met.trialsRun.Add(uint64(sum.Trials))
+	s.met.trialsConverged.Add(uint64(sum.Converged))
 	return nil
 }
 

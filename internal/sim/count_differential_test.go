@@ -1,0 +1,131 @@
+package sim_test
+
+import (
+	"testing"
+
+	"popnaming/internal/core"
+	"popnaming/internal/experiments"
+	"popnaming/internal/sched"
+	"popnaming/internal/sim"
+	"popnaming/internal/stats"
+)
+
+// countDiffTrials trials per engine give the two-sample KS test enough
+// resolution to catch a mis-weighted sampler while staying fast; alpha
+// is deliberately strict (the samples SHOULD agree — a false rejection
+// would flake CI) and the seeds are fixed, so the test is deterministic.
+const (
+	countDiffTrials = 120
+	countDiffBudget = 400000
+	countDiffAlpha  = 1e-3
+)
+
+// agentStepsSample runs `trials` agent-engine executions with the
+// standard seed recipe (config from trialSeed, scheduler from
+// trialSeed+1) and returns the converged Steps values plus the
+// converged count.
+func agentStepsSample(pr core.Protocol, n int, base int64, trials int) ([]float64, int) {
+	withLeader := core.HasLeader(pr)
+	var steps []float64
+	converged := 0
+	for i := 0; i < trials; i++ {
+		seed := sim.DeriveSeed(base, i, 0)
+		r := sim.NewRunner(pr, sched.NewRandom(n, withLeader, seed+1), diffStart(pr, n, seed))
+		res := r.Run(countDiffBudget)
+		if res.Converged {
+			converged++
+			steps = append(steps, float64(res.Steps))
+		}
+	}
+	return steps, converged
+}
+
+// countStepsSample is the count-engine mirror: the same per-trial
+// config seeds, folded to count space, with the runner seeded like the
+// scheduler. Equal seeds cannot reproduce trajectories across engines
+// (randomness is consumed differently), so only the distributions are
+// comparable — which is exactly what the KS test checks.
+func countStepsSample(t *testing.T, pr core.Protocol, n int, base int64, trials int, sampler string) ([]float64, int) {
+	t.Helper()
+	var steps []float64
+	converged := 0
+	for i := 0; i < trials; i++ {
+		seed := sim.DeriveSeed(base, i, 0)
+		cc, err := core.CountsOf(diffStart(pr, n, seed), pr.States())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.NewCountRunner(pr, cc, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Sampler = sampler
+		res, err := r.Run(countDiffBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged {
+			converged++
+			steps = append(steps, float64(res.Steps))
+		}
+	}
+	return steps, converged
+}
+
+// TestCountMatchesAgentDistribution is the tentpole differential test:
+// for every registry protocol, the count engine's convergence-step
+// distribution must be statistically indistinguishable (two-sample KS)
+// from the agent engine's. Protocols that do not converge within budget
+// must not converge under either engine (`naive` is incorrect by
+// design); partially converging ones are held to consistent rates.
+func TestCountMatchesAgentDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential distribution test is not short")
+	}
+	for _, key := range experiments.RegistryKeys() {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			t.Parallel()
+			pr, n := diffCase(t, key)
+			base := int64(52000)
+			agent, agentConv := agentStepsSample(pr, n, base, countDiffTrials)
+			count, countConv := countStepsSample(t, pr, n, base, countDiffTrials, "auto")
+
+			t.Logf("converged: agent %d/%d, count %d/%d", agentConv, countDiffTrials, countConv, countDiffTrials)
+			// Convergence rates must agree to within what a binomial at
+			// these sizes can produce (±5σ with p̂ pooled, floored).
+			if diff := agentConv - countConv; diff < -40 || diff > 40 {
+				t.Fatalf("convergence rates diverge: agent %d vs count %d", agentConv, countConv)
+			}
+			if agentConv < 30 || countConv < 30 {
+				// Not enough converged mass for a meaningful KS test;
+				// rate consistency above is the whole check.
+				return
+			}
+			same, d, crit := stats.KSSame(agent, count, countDiffAlpha)
+			t.Logf("KS distance %.4f, critical %.4f (alpha %g)", d, crit, countDiffAlpha)
+			if !same {
+				t.Fatalf("convergence-step distributions differ: D = %.4f > critical %.4f", d, crit)
+			}
+		})
+	}
+}
+
+// TestCountSamplersAgree holds the two sampler implementations to the
+// same KS bar against each other on one representative protocol — a
+// regression net for the alias sampler's staleness rejection.
+func TestCountSamplersAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampler agreement test is not short")
+	}
+	pr, n := diffCase(t, "asym")
+	base := int64(61000)
+	fen, fenConv := countStepsSample(t, pr, n, base, countDiffTrials, "fenwick")
+	ali, aliConv := countStepsSample(t, pr, n, base+1, countDiffTrials, "alias")
+	if fenConv < 30 || aliConv < 30 {
+		t.Fatalf("not enough converged trials: fenwick %d, alias %d", fenConv, aliConv)
+	}
+	if same, d, crit := stats.KSSame(fen, ali, countDiffAlpha); !same {
+		t.Fatalf("samplers disagree: D = %.4f > critical %.4f", d, crit)
+	}
+}
