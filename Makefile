@@ -29,10 +29,16 @@ TRACE_BENCH = BenchmarkSpanEmit|BenchmarkSpanEmitJournal|BenchmarkSupervisedNilT
 # (see DESIGN.md "Count-based engine" and EXPERIMENTS.md).
 COUNT_BENCH = BenchmarkCountEngineScale|BenchmarkAgentEngineScale|BenchmarkCountSampler|BenchmarkAliasRebuild
 
-.PHONY: check vet build test race race-search race-fault race-serve race-count fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve bench-trace bench-count serve
+# Durability benchmarks gating the job-store claims: WAL append vs the
+# fsync-bearing finalize, boot-time replay scaling with log size, and
+# cold admission vs cache-hit submission latency (see docs/service.md
+# "Durability and the result cache" and EXPERIMENTS.md).
+STORE_BENCH = BenchmarkWALAppend|BenchmarkWALFinalize|BenchmarkWALReplay|BenchmarkAdmitColdMemory|BenchmarkAdmitColdWAL|BenchmarkAdmitCacheHit
+
+.PHONY: check vet build test race race-search race-fault race-serve race-count race-store fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve bench-trace bench-count bench-store serve
 
 # check is the single entry point: everything CI (or a reviewer) needs.
-check: vet build race race-search race-fault race-serve race-count fmt fuzzbuild
+check: vet build race race-search race-fault race-serve race-count race-store fmt fuzzbuild
 
 vet:
 	$(GO) vet ./...
@@ -69,6 +75,14 @@ race-serve:
 # goroutines) under the race detector with caching disabled.
 race-count:
 	$(GO) test -race -count=1 -run 'Count' ./internal/sim ./internal/serve ./internal/experiments
+
+# race-store re-runs the durability layer under the race detector with
+# caching disabled: the WAL shares per-job appenders between workers and
+# the replay path, and the cancel-vs-pickup race writes store records
+# from two goroutines.
+race-store:
+	$(GO) test -race -count=1 ./internal/serve/store
+	$(GO) test -race -count=1 -run 'TestCancelRacePickup|TestCacheHitServes|TestRestartRestores|TestRestartRequeues|TestLateEmit|TestBufferSpill' ./internal/serve
 
 # serve runs the simulation service locally on :8080.
 serve:
@@ -129,3 +143,10 @@ bench-trace:
 bench-count:
 	$(GO) test -json -run='^$$' -bench='$(COUNT_BENCH)' -benchmem -count=3 ./internal/sim > BENCH_PR7.json
 	@echo "wrote BENCH_PR7.json ($$(wc -l < BENCH_PR7.json) events)"
+
+# bench-store runs the durability benchmarks (WAL append/finalize/replay
+# plus cold-vs-cached admission) and writes the go-test JSON stream to
+# BENCH_PR8.json.
+bench-store:
+	$(GO) test -json -run='^$$' -bench='$(STORE_BENCH)' -benchmem -count=3 ./internal/serve ./internal/serve/store > BENCH_PR8.json
+	@echo "wrote BENCH_PR8.json ($$(wc -l < BENCH_PR8.json) events)"

@@ -39,26 +39,53 @@ import (
 
 	"popnaming/internal/obs"
 	"popnaming/internal/serve"
+	"popnaming/internal/serve/store"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers   = flag.Int("workers", 0, "job worker pool size (0: GOMAXPROCS)")
-		queue     = flag.Int("queue", 64, "job queue capacity (beyond it submissions get 429)")
-		journal   = flag.String("journal", "", "write the service journal (JSONL job records) to this file")
-		grace     = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight jobs are canceled")
-		debugAddr = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060); off when empty")
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers    = flag.Int("workers", 0, "job worker pool size (0: GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "job queue capacity (beyond it submissions get 429)")
+		journal    = flag.String("journal", "", "write the service journal (JSONL job records) to this file")
+		grace      = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight jobs are canceled")
+		debugAddr  = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060); off when empty")
+		storeKind  = flag.String("store", "memory", "job store: memory (jobs die with the process) or wal (durable; requires -store-dir)")
+		storeDir   = flag.String("store-dir", "", "WAL store directory (created if absent; required with -store wal)")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result-cache byte budget; identical resubmissions are served from it (0 disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *journal, *grace, *debugAddr); err != nil {
+	if err := run(*addr, *workers, *queue, *journal, *grace, *debugAddr, *storeKind, *storeDir, *cacheBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "ppserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, journal string, grace time.Duration, debugAddr string) error {
+func run(addr string, workers, queue int, journal string, grace time.Duration, debugAddr, storeKind, storeDir string, cacheBytes int64) error {
 	cfg := serve.Config{Workers: workers, QueueCap: queue}
+	switch storeKind {
+	case "memory":
+		if storeDir != "" {
+			return fmt.Errorf("-store-dir is only meaningful with -store wal")
+		}
+	case "wal":
+		if storeDir == "" {
+			return fmt.Errorf("-store wal requires -store-dir")
+		}
+		wal, err := store.OpenWAL(storeDir)
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		cfg.Store = wal
+	default:
+		return fmt.Errorf("unknown -store %q (memory | wal)", storeKind)
+	}
+	if cacheBytes <= 0 {
+		cfg.CacheBytes = -1 // user asked for no cache; 0 means default
+	} else {
+		cfg.CacheBytes = cacheBytes
+	}
 	var closeJournal func() error
 	if journal != "" {
 		sink, closeFn, err := obs.OpenJournal(journal)
@@ -68,15 +95,18 @@ func run(addr string, workers, queue int, journal string, grace time.Duration, d
 		cfg.Sink = sink
 		closeJournal = closeFn
 	}
-	srv := serve.New(cfg)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("ppserved: listening on %s (workers %d, queue %d)\n",
-		ln.Addr(), effectiveWorkers(workers), queue)
+	fmt.Printf("ppserved: listening on %s (workers %d, queue %d, store %s)\n",
+		ln.Addr(), effectiveWorkers(workers), queue, storeKind)
 
 	// The pprof listener is opt-in and separate from the service
 	// listener, so profiling endpoints are never exposed on the

@@ -30,7 +30,13 @@ func BenchmarkServeLoad(b *testing.B) {
 }
 
 func benchServeLoad(b *testing.B, clients int) {
-	s := New(Config{QueueCap: 2*clients + 8})
+	// Every iteration submits the same seeded spec; the cache is
+	// disabled so the benchmark keeps measuring real simulations, not
+	// memoized replays (BenchmarkAdmitCacheHit measures those).
+	s, err := New(Config{QueueCap: 2*clients + 8, CacheBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
 		ts.Close()

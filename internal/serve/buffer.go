@@ -2,8 +2,15 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"sync"
 )
+
+// ErrLateEmit is returned by buffer.Emit after finalize: the job was
+// sealed, its terminal record written, and nothing may follow. A late
+// emit is a worker bug — the error (and the late_emits metric the
+// buffer's late hook feeds) makes it detectable instead of silent.
+var ErrLateEmit = errors.New("serve: emit after job finalization")
 
 // buffer is a job's append-only NDJSON result log. The worker running
 // the job emits journal records into it (it implements obs.Sink) while
@@ -11,21 +18,53 @@ import (
 // reaches the end blocks on the condition variable until more lines
 // arrive or the buffer closes, so followers see records as the run
 // produces them and get EOF exactly when the job is finalized.
+//
+// Lines live in RAM only up to maxBytes: past the cap the in-RAM tail
+// is spilled to the job store and readers fetch the spilled prefix
+// back on demand, so a long traced campaign no longer pins its whole
+// journal in memory. finalize spills everything, leaving terminal jobs
+// at near-zero resident cost. Logical line indexes are stable across
+// spills: [0, start) is in the store, [start, start+len(lines)) in RAM.
 type buffer struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	lines  [][]byte
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	lines    [][]byte // in-RAM tail; logical index of lines[0] is start
+	start    int      // lines below this logical index are in the store
+	memBytes int64
+	maxBytes int64 // live-RAM cap; <= 0 means no cap (never spill early)
+	closed   bool
+
+	// Store wiring, set at construction and immutable: spill appends
+	// lines to the job's durable result log, fetch reads logical lines
+	// [from, to) back, late observes emits after finalization. Any may
+	// be nil (spill nil: the buffer keeps everything in RAM, the
+	// pre-store behavior).
+	spill func(lines [][]byte) error
+	fetch func(from, to int) ([][]byte, error)
+	late  func()
 }
 
-func newBuffer() *buffer {
-	b := &buffer{}
+func newBuffer(maxBytes int64, spill func([][]byte) error, fetch func(from, to int) ([][]byte, error), late func()) *buffer {
+	b := &buffer{maxBytes: maxBytes, spill: spill, fetch: fetch, late: late}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
+// restore marks the buffer as a finalized log of total lines that live
+// entirely in the store (a job recovered at boot): reads go through
+// fetch, writes are late emits.
+func (b *buffer) restore(total int) {
+	b.mu.Lock()
+	b.start = total
+	b.closed = true
+	b.mu.Unlock()
+}
+
 // Emit implements obs.Sink: one marshaled record per line. Emits after
-// close are dropped (the job was finalized; nothing should follow).
+// finalize return ErrLateEmit. When the in-RAM tail exceeds maxBytes
+// the whole tail is spilled to the store; a spill failure (e.g. disk
+// full) keeps the lines in RAM — degraded but lossless — and surfaces
+// the error.
 func (b *buffer) Emit(rec any) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -33,46 +72,111 @@ func (b *buffer) Emit(rec any) error {
 	}
 	line = append(line, '\n')
 	b.mu.Lock()
-	if !b.closed {
-		b.lines = append(b.lines, line)
+	if b.closed {
+		b.mu.Unlock()
+		if b.late != nil {
+			b.late()
+		}
+		return ErrLateEmit
+	}
+	b.lines = append(b.lines, line)
+	b.memBytes += int64(len(line))
+	var spillErr error
+	if b.spill != nil && b.maxBytes > 0 && b.memBytes > b.maxBytes {
+		spillErr = b.spillLocked()
 	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
+	return spillErr
+}
+
+// appendRaw appends pre-marshaled, newline-terminated lines (a cache
+// hit replaying a prior job's stream). Lines must never be mutated
+// afterwards.
+func (b *buffer) appendRaw(lines [][]byte) {
+	b.mu.Lock()
+	for _, line := range lines {
+		b.lines = append(b.lines, line)
+		b.memBytes += int64(len(line))
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// spillLocked moves the whole in-RAM tail to the store; callers hold
+// b.mu.
+func (b *buffer) spillLocked() error {
+	if err := b.spill(b.lines); err != nil {
+		return err
+	}
+	b.start += len(b.lines)
+	b.lines = nil
+	b.memBytes = 0
 	return nil
 }
 
-// close marks the stream complete and wakes every waiting reader.
-func (b *buffer) close() {
+// finalize marks the stream complete, spills any in-RAM tail to the
+// store and wakes every waiting reader. After finalize the buffer
+// holds no line data (when spill is wired); len and wait still serve
+// the full logical log through fetch.
+func (b *buffer) finalize() error {
 	b.mu.Lock()
 	b.closed = true
+	var err error
+	if b.spill != nil && len(b.lines) > 0 {
+		err = b.spillLocked()
+	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
+	return err
 }
 
-// len returns the number of buffered lines.
+// len returns the number of logical lines (in store + in RAM).
 func (b *buffer) len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.lines)
+	return b.start + len(b.lines)
 }
 
-// wait blocks until lines beyond index i exist, the buffer closes, or
-// canceled reports true, and returns the new lines plus the closed
-// flag. Line slices are append-only and never mutated after Emit, so
-// the returned views are safe to write without holding the lock.
-// Cancellation is polled only at wake-ups: arrange for wake (e.g. via
-// context.AfterFunc) when canceled can turn true.
-func (b *buffer) wait(i int, canceled func() bool) ([][]byte, bool) {
+// wait blocks until lines beyond logical index i exist, the buffer
+// closes, or canceled reports true, and returns the lines from i on
+// plus the closed flag. A prefix already spilled to the store is
+// fetched back outside the lock (the store's logs are append-only, so
+// the read is stable). Line slices are append-only and never mutated
+// after Emit, so the returned views are safe to write without the
+// lock. Cancellation is polled only at wake-ups: arrange for wake
+// (e.g. via context.AfterFunc) when canceled can turn true.
+func (b *buffer) wait(i int, canceled func() bool) ([][]byte, bool, error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	for len(b.lines) <= i && !b.closed && !canceled() {
+	for b.start+len(b.lines) <= i && !b.closed && !canceled() {
 		b.cond.Wait()
 	}
-	var lines [][]byte
-	if len(b.lines) > i {
-		lines = b.lines[i:]
+	closed := b.closed
+	if i >= b.start {
+		var lines [][]byte
+		if b.start+len(b.lines) > i {
+			lines = b.lines[i-b.start:]
+		}
+		b.mu.Unlock()
+		return lines, closed, nil
 	}
-	return lines, b.closed
+	spilled := b.start
+	ram := append([][]byte(nil), b.lines...)
+	b.mu.Unlock()
+	if b.fetch == nil {
+		return nil, closed, errors.New("serve: buffer lines spilled with no fetch wired")
+	}
+	fetched, err := b.fetch(i, spilled)
+	if err != nil {
+		return nil, closed, err
+	}
+	return append(fetched, ram...), closed, nil
+}
+
+// all returns the complete logical log (store prefix + RAM tail).
+func (b *buffer) all() ([][]byte, error) {
+	lines, _, err := b.wait(0, func() bool { return true })
+	return lines, err
 }
 
 // wake nudges every waiting reader to re-check its cancellation.

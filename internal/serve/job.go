@@ -460,6 +460,10 @@ type Job struct {
 	queueSpan *obs.Span
 	admitted  time.Time
 
+	// key is the job's content address (canonical-spec hash), set once
+	// at admission; it doubles as the Idempotency-Key header value.
+	key string
+
 	mu          sync.Mutex
 	state       JobState
 	errMsg      string
@@ -469,6 +473,8 @@ type Job struct {
 	summary     *JobSummary
 	live        *obs.Observer
 	finalized   bool
+	// cached marks a job served from the result cache without a run.
+	cached bool
 }
 
 // traceCtx returns the root span's context — the parent for every
@@ -496,6 +502,11 @@ type JobView struct {
 	SeedDerived bool     `json:"seedDerived,omitempty"`
 	// Trace is the job's trace ID when span tracing was requested.
 	Trace string `json:"trace,omitempty"`
+	// Cached marks a job whose results were served from the result
+	// cache without re-simulation; IdempotencyKey is the canonical-spec
+	// hash that addressed (or populated) the cache.
+	Cached         bool   `json:"cached,omitempty"`
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 	// Records is the number of NDJSON result records buffered so far.
 	Records int `json:"records"`
 	// Error carries the failure (or cancellation) detail.
@@ -518,6 +529,7 @@ func (j *Job) view() JobView {
 		Engine: sp.Engine, Sampler: sp.Sampler,
 		Faults: sp.Faults, Budget: sp.Budget, Trials: sp.Trials, Workers: sp.Workers,
 		Seed: sp.Seed, SeedDerived: j.v.seedDerived,
+		Cached: j.cached, IdempotencyKey: j.key,
 		Records: j.buf.len(), Error: j.errMsg, WallNS: j.wallNS, Summary: j.summary,
 	}
 	if j.traceID != 0 {
@@ -557,8 +569,14 @@ func (j *Job) fail(msg string) {
 
 // begin moves a queued job to running. It returns false when the job is
 // no longer runnable (canceled while queued, or its context is already
-// dead), leaving the state terminal.
-func (j *Job) begin() bool {
+// dead), leaving the state terminal. The in-memory transition and the
+// store's state record are both written under j.mu — as is the
+// terminal write in finalize — so a cancel racing worker pickup
+// serializes: whichever takes the lock first wins, and the store's
+// record order matches the order the job actually transitioned in
+// (the queued→canceled vs queued→running TOCTOU cannot journal a
+// canceled job as running).
+func (j *Job) begin(st JobStore) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateQueued {
@@ -574,6 +592,7 @@ func (j *Job) begin() bool {
 	if !j.admitted.IsZero() {
 		j.queueWaitNS = j.started.Sub(j.admitted).Nanoseconds()
 	}
+	_ = st.SetState(j.ID, storeState(StateRunning))
 	return true
 }
 
@@ -598,6 +617,7 @@ type JobRec struct {
 	Protocol    string `json:"protocol,omitempty"`
 	Seed        int64  `json:"seed"`
 	Trace       string `json:"trace,omitempty"`
+	Cached      bool   `json:"cached,omitempty"`
 	Error       string `json:"error,omitempty"`
 	WallNS      int64  `json:"wallNs,omitempty"`
 	QueueWaitNS int64  `json:"queueWaitNs,omitempty"`
@@ -609,7 +629,7 @@ func (j *Job) recLocked() JobRec {
 		V: obs.Version, Type: "job", ID: j.ID,
 		Kind: j.v.spec.Kind, State: string(j.state),
 		Protocol: j.v.spec.Protocol, Seed: j.v.spec.Seed,
-		Error: j.errMsg, WallNS: j.wallNS, QueueWaitNS: j.queueWaitNS,
+		Cached: j.cached, Error: j.errMsg, WallNS: j.wallNS, QueueWaitNS: j.queueWaitNS,
 	}
 	if j.traceID != 0 {
 		rec.Trace = j.traceID.String()

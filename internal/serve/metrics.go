@@ -37,6 +37,25 @@ type metrics struct {
 	// spans counts trace span records emitted into result streams.
 	spans obs.Counter
 
+	// Result-cache counters: hits answered without re-simulation,
+	// misses (cache enabled, key absent), LRU evictions by byte budget.
+	cacheHits      obs.Counter
+	cacheMisses    obs.Counter
+	cacheEvictions obs.Counter
+
+	// Store-replay counters, set once at construction: terminal jobs
+	// restored with their results, and non-terminal jobs re-queued for
+	// a deterministic re-run.
+	restored obs.Counter
+	requeued obs.Counter
+
+	// Buffer hygiene: live-buffer spills to the store (and their byte
+	// volume), and emits that arrived after job finalization (each one
+	// a detected worker bug; see ErrLateEmit).
+	bufSpills       obs.Counter
+	bufSpilledBytes obs.Counter
+	lateEmits       obs.Counter
+
 	// Simulation aggregates across every job run by this server.
 	trialsRun       obs.Counter
 	trialsConverged obs.Counter
@@ -163,6 +182,23 @@ func (s *Server) renderMetrics(w io.Writer) {
 	svc.AddRowf("job_wall_ms_max", jw.Max)
 	svc.AddRowf("spans_emitted", m.spans.Value())
 	svc.Render(w)
+	fmt.Fprintln(w)
+
+	entries, bytes := s.cache.stats()
+	st := report.NewTable("store and cache", "metric", "value")
+	st.AddRowf("store_kind", s.store.Kind())
+	st.AddRowf("jobs_restored", m.restored.Value())
+	st.AddRowf("jobs_requeued", m.requeued.Value())
+	st.AddRowf("cache_entries", entries)
+	st.AddRowf("cache_bytes", bytes)
+	st.AddRowf("cache_capacity_bytes", s.cacheCapacity())
+	st.AddRowf("cache_hits", m.cacheHits.Value())
+	st.AddRowf("cache_misses", m.cacheMisses.Value())
+	st.AddRowf("cache_evictions", m.cacheEvictions.Value())
+	st.AddRowf("buffer_spills", m.bufSpills.Value())
+	st.AddRowf("buffer_spilled_bytes", m.bufSpilledBytes.Value())
+	st.AddRowf("late_emits", m.lateEmits.Value())
+	st.Render(w)
 	fmt.Fprintln(w)
 
 	states := report.NewTable("jobs by state", "state", "count")

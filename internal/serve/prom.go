@@ -53,6 +53,21 @@ func (s *Server) renderPrometheus(w io.Writer) {
 	p.Counter("ppserved_jobs_canceled_total", "Jobs that reached state canceled.", m.canceled.Value())
 	p.Counter("ppserved_spans_total", "Trace span records emitted into result streams.", m.spans.Value())
 
+	entries, bytes := s.cache.stats()
+	p.Family("ppserved_store_info", "gauge", "Job store implementation in use (value is always 1).")
+	p.Sample("ppserved_store_info", []obs.PromLabel{{Name: "kind", Value: s.store.Kind()}}, 1)
+	p.Counter("ppserved_jobs_restored_total", "Terminal jobs restored from the store at boot.", m.restored.Value())
+	p.Counter("ppserved_jobs_requeued_total", "Interrupted jobs re-queued from the store at boot.", m.requeued.Value())
+	p.Gauge("ppserved_cache_entries", "Result-cache entries resident.", float64(entries))
+	p.Gauge("ppserved_cache_bytes", "Result-cache resident bytes.", float64(bytes))
+	p.Gauge("ppserved_cache_capacity_bytes", "Result-cache byte budget (0 when disabled).", float64(s.cacheCapacity()))
+	p.Counter("ppserved_cache_hits_total", "Submissions served from the result cache without re-simulation.", m.cacheHits.Value())
+	p.Counter("ppserved_cache_misses_total", "Submissions that missed the result cache.", m.cacheMisses.Value())
+	p.Counter("ppserved_cache_evictions_total", "Result-cache entries evicted by the byte budget.", m.cacheEvictions.Value())
+	p.Counter("ppserved_buffer_spills_total", "Live result-buffer spills to the job store.", m.bufSpills.Value())
+	p.Counter("ppserved_buffer_spilled_bytes_total", "Bytes spilled from live result buffers to the job store.", m.bufSpilledBytes.Value())
+	p.Counter("ppserved_late_emits_total", "Records emitted into a result buffer after job finalization (worker bugs).", m.lateEmits.Value())
+
 	p.Family("ppserved_jobs", "gauge", "Jobs currently known to the server, by lifecycle state.")
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
 		p.Sample("ppserved_jobs", []obs.PromLabel{{Name: "state", Value: string(st)}}, float64(byState[st]))

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"popnaming/internal/obs"
+	"popnaming/internal/serve/store"
 )
 
 // Config sizes a Server.
@@ -55,16 +56,44 @@ type Config struct {
 	// lifecycle transition of every job. It must be safe for
 	// concurrent use (obs.JournalSink is).
 	Sink obs.Sink
+	// Store is the job durability layer (nil: a fresh in-memory store,
+	// the pre-durability behavior). With a store.WAL the server replays
+	// it at construction: terminal jobs come back with their result
+	// logs, jobs queued or running at crash time are re-queued — their
+	// resolved seeds re-derive the same attempt seeds, so the re-run is
+	// byte-identical modulo wall-clock fields. The caller owns the
+	// store's lifetime and closes it after Drain.
+	Store JobStore
+	// CacheBytes bounds the content-addressed result cache: finished
+	// seeded jobs are memoized by canonical-spec hash and identical
+	// resubmissions are answered from memory, without re-simulation
+	// (0: 64 MiB; negative: cache disabled).
+	CacheBytes int64
+	// BufferBytes caps one job's in-RAM result buffer: past it the
+	// buffered NDJSON lines spill to the Store and stream reads fetch
+	// them back on demand (0: 8 MiB; negative: no cap — every line
+	// stays resident until finalization, and finalized jobs still spill).
+	BufferBytes int64
 }
+
+// Sizing defaults for Config's zero values.
+const (
+	defaultCacheBytes  = 64 << 20
+	defaultBufferBytes = 8 << 20
+)
 
 // Server is the simulation service: a handler, a bounded FIFO job
 // queue and a worker pool. Create with New, serve via Handler, stop
 // via Drain (graceful) or Close (immediate).
 type Server struct {
-	cfg  Config
-	mux  *http.ServeMux
-	met  *metrics
-	sink obs.Sink
+	cfg   Config
+	mux   *http.ServeMux
+	met   *metrics
+	sink  obs.Sink
+	store JobStore
+	cache *resultCache
+	// bufMax is the resolved per-job live-buffer cap (<= 0: uncapped).
+	bufMax int64
 
 	// baseCtx parents every job context; baseCancel is the
 	// drain-escalation switch that aborts all in-flight work.
@@ -94,8 +123,13 @@ var routePatterns = []string{
 	"GET /readyz",
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, replays its job store and starts the worker
+// pool. Replay restores terminal jobs (views, summaries and result
+// logs all served from the store) and re-queues jobs that were queued
+// or running when the previous process died — ahead of any new
+// submission, preserving admission order. Replaying a corrupt store
+// returns an error rather than a half-restored server.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -114,15 +148,40 @@ func New(cfg Config) *Server {
 	if cfg.Sink == nil {
 		cfg.Sink = obs.Discard
 	}
+	if cfg.Store == nil {
+		cfg.Store = store.NewMemory()
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = defaultCacheBytes
+	}
+	bufMax := cfg.BufferBytes
+	if bufMax == 0 {
+		bufMax = defaultBufferBytes
+	}
 	s := &Server{
-		cfg:  cfg,
-		mux:  http.NewServeMux(),
-		met:  newMetrics(routePatterns),
-		sink: cfg.Sink,
-		jobs: make(map[string]*Job),
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		met:    newMetrics(routePatterns),
+		sink:   cfg.Sink,
+		store:  cfg.Store,
+		cache:  newResultCache(cacheBytes),
+		bufMax: bufMax,
+		jobs:   make(map[string]*Job),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
-	s.queue = make(chan *Job, cfg.QueueCap)
+	requeue, err := s.restore()
+	if err != nil {
+		return nil, err
+	}
+	// Re-queued jobs ride along in the same channel ahead of new
+	// admissions; the extra capacity guarantees they fit even when the
+	// crash left more in flight than QueueCap (admission still checks
+	// against QueueCap, so the configured backpressure is unchanged).
+	s.queue = make(chan *Job, cfg.QueueCap+len(requeue))
+	for _, j := range requeue {
+		s.queue <- j
+	}
 
 	s.route("POST /v1/jobs", s.handleSubmit)
 	s.route("GET /v1/jobs", s.handleList)
@@ -142,7 +201,147 @@ func New(cfg Config) *Server {
 			}
 		}()
 	}
-	return s
+	return s, nil
+}
+
+// restore replays the job store into the server's maps: terminal
+// snapshots become finished jobs served straight from the store (done
+// uncached ones re-seed the result cache), non-terminal snapshots get
+// their partial result logs reset and are returned for re-queueing.
+// Runs single-threaded at construction, before any worker or handler
+// exists.
+func (s *Server) restore() ([]*Job, error) {
+	snaps, err := s.store.Replay()
+	if err != nil {
+		return nil, fmt.Errorf("job store replay: %w", err)
+	}
+	var requeue []*Job
+	for _, snap := range snaps {
+		var n int
+		if _, err := fmt.Sscanf(snap.ID, "j%d", &n); err == nil && n > s.nextID {
+			s.nextID = n // new IDs continue past every restored one
+		}
+		var spec Spec
+		if err := json.Unmarshal(snap.Spec, &spec); err != nil {
+			// CRC framing makes a corrupt spec body effectively
+			// unreachable; skip the record rather than refuse to boot.
+			continue
+		}
+		if store.Terminal(snap.State) {
+			j := s.restoreTerminal(snap, spec)
+			s.jobs[j.ID] = j
+			s.order = append(s.order, j)
+			s.met.restored.Inc()
+			continue
+		}
+		v, verr := prepare(spec)
+		if verr != nil {
+			// The spec passed admission before the crash but fails it
+			// now (an admission rule or registry changed across the
+			// restart): journal the job failed instead of re-running.
+			_ = s.store.Finalize(snap.ID, store.Final{
+				State: store.StateFailed, Error: "restore: " + verr.Message})
+			continue
+		}
+		if err := s.store.ResetResults(snap.ID); err != nil {
+			return nil, fmt.Errorf("job store reset %s: %w", snap.ID, err)
+		}
+		_ = s.store.SetState(snap.ID, store.StateQueued)
+		j := s.newJob(snap.ID, v, true)
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j)
+		s.met.requeued.Inc()
+		requeue = append(requeue, j)
+	}
+	return requeue, nil
+}
+
+// restoreTerminal rebuilds a finished job from its snapshot. The spec
+// skips re-validation (the job never executes again, and admission
+// rules may have tightened since it ran); results are served from the
+// store through the buffer's fetch path.
+func (s *Server) restoreTerminal(snap store.Snapshot, spec Spec) *Job {
+	v := &validated{spec: spec, seedDerived: snap.SeedDerived}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID: snap.ID, v: v, ctx: ctx, cancel: cancel,
+		state: JobState(snap.State), errMsg: snap.Error,
+		wallNS: snap.WallNS, cached: snap.Cached, finalized: true,
+		key: cacheKey(snap.Spec),
+	}
+	if spec.Trace {
+		j.traceID = obs.NewTraceID(spec.Seed)
+	}
+	if len(snap.Summary) > 0 {
+		var sum JobSummary
+		if err := json.Unmarshal(snap.Summary, &sum); err == nil {
+			j.summary = &sum
+		}
+	}
+	j.buf = s.newJobBuffer(snap.ID)
+	j.buf.restore(snap.ResultLines)
+	cancel()
+	// Re-seed the cache from jobs that actually simulated, so identical
+	// resubmissions stay hits across restarts. The stored stream's last
+	// line is the terminal job record; cache entries exclude it.
+	if snap.State == store.StateDone && !snap.Cached && s.cache.enabled() && snap.ResultLines > 0 {
+		if lines, err := s.store.ReadResults(snap.ID, 0, snap.ResultLines); err == nil {
+			var sum *JobSummary
+			if j.summary != nil {
+				c := *j.summary
+				sum = &c
+			}
+			s.cache.put(j.key, lines[:len(lines)-1], sum)
+		}
+	}
+	return j
+}
+
+// newJob builds an admitted job wired to the store-backed buffer.
+// spans controls whether a traced spec gets live job/queue spans —
+// cache hits skip them, because the cached stream already carries the
+// original run's structurally identical span records.
+func (s *Server) newJob(id string, v *validated, spans bool) *Job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{ID: id, v: v, buf: s.newJobBuffer(id), ctx: ctx, cancel: cancel,
+		state: StateQueued, admitted: time.Now()}
+	if v.spec.Trace {
+		// The trace ID derives from the resolved seed, the root span
+		// covers admission to terminal, and the queue span measures
+		// time-to-execution. Span records flow into the job's result
+		// buffer through a counting wrapper so /metrics sees the span
+		// volume.
+		j.traceID = obs.NewTraceID(v.spec.Seed)
+		if spans {
+			root := obs.SpanContext{Trace: j.traceID, Sink: &spanSink{buf: j.buf, emitted: &s.met.spans}}
+			j.rootSpan = root.Start("job", 0)
+			j.queueSpan = j.rootSpan.Context().Start("queue", 0)
+		}
+	}
+	return j
+}
+
+// newJobBuffer wires a job's result buffer to the store: spills append
+// to the job's durable result log (counted in the spill metrics),
+// reads of spilled lines fetch back from it, and emits after
+// finalization land in the late_emits counter.
+func (s *Server) newJobBuffer(id string) *buffer {
+	return newBuffer(s.bufMax,
+		func(lines [][]byte) error {
+			var n int64
+			for _, line := range lines {
+				n += int64(len(line))
+			}
+			if err := s.store.AppendResults(id, lines); err != nil {
+				return err
+			}
+			s.met.bufSpills.Inc()
+			s.met.bufSpilledBytes.Add(uint64(n))
+			return nil
+		},
+		func(from, to int) ([][]byte, error) { return s.store.ReadResults(id, from, to) },
+		s.met.lateEmits.Inc,
+	)
 }
 
 // Handler returns the service's HTTP handler.
@@ -161,48 +360,103 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 // body goes through exactly this path). On rejection the *Error
 // carries the HTTP status and, for fault-plan errors, the offending
 // token's location.
-func (s *Server) Submit(spec Spec) (*Job, *Error) {
+func (s *Server) Submit(spec Spec) (*Job, *Error) { return s.submit(spec, "") }
+
+// submit is the admission path. clientKey, when non-empty, is the
+// caller's Idempotency-Key header: it must equal the canonical spec
+// hash (the key the server would compute), turning it into an
+// end-to-end check that the client resubmitted the spec it thinks it
+// did. A cache hit returns a job that is terminal before this function
+// returns, its stream replayed from the memoized run.
+func (s *Server) submit(spec Spec, clientKey string) (*Job, *Error) {
 	v, verr := prepare(spec)
 	if verr != nil {
 		return nil, verr
 	}
+	canonical, err := canonicalSpec(v)
+	if err != nil {
+		return nil, &Error{Status: http.StatusInternalServerError, Kind: "internal",
+			Message: fmt.Sprintf("canonicalize spec: %v", err)}
+	}
+	key := cacheKey(canonical)
+	if clientKey != "" && clientKey != key {
+		return nil, &Error{Status: http.StatusBadRequest, Kind: "idempotency-mismatch",
+			Message: fmt.Sprintf("Idempotency-Key %q does not match the canonical spec hash %s", clientKey, key)}
+	}
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return nil, &Error{Status: http.StatusServiceUnavailable, Kind: "draining",
 			Message: "server is draining; no new jobs accepted"}
 	}
+	if ent, ok := s.cache.get(key); ok {
+		s.nextID++
+		id := fmt.Sprintf("j%06d", s.nextID)
+		j := s.newJob(id, v, false)
+		j.key = key
+		s.jobs[id] = j
+		s.order = append(s.order, j)
+		s.met.submitted.Inc()
+		s.met.cacheHits.Inc()
+		s.mu.Unlock()
+		s.completeFromCache(j, ent, canonical)
+		return j, nil
+	}
+	if s.cache.enabled() {
+		s.met.cacheMisses.Inc()
+	}
+	// Capacity is checked explicitly under s.mu (every producer holds
+	// it, workers only consume), so the admission record can be written
+	// before the send — which then cannot block — and a worker can
+	// never pick up a job whose admission the store has not yet seen.
+	if len(s.queue) >= s.cfg.QueueCap {
+		depth := len(s.queue)
+		s.met.rejected.Inc()
+		s.mu.Unlock()
+		return nil, &Error{Status: http.StatusTooManyRequests, Kind: "queue-full",
+			Message:       fmt.Sprintf("job queue full (%d queued)", depth),
+			RetryAfterSec: s.retryAfterSec(depth),
+		}
+	}
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	j := &Job{ID: id, v: v, buf: newBuffer(), ctx: ctx, cancel: cancel, state: StateQueued, admitted: time.Now()}
-	if v.spec.Trace {
-		// The trace ID derives from the resolved seed, the root span
-		// covers admission to terminal, and the queue span measures
-		// time-to-execution. Span records flow into the job's result
-		// buffer through a counting wrapper so /metrics sees the span
-		// volume.
-		j.traceID = obs.NewTraceID(v.spec.Seed)
-		root := obs.SpanContext{Trace: j.traceID, Sink: &spanSink{buf: j.buf, emitted: &s.met.spans}}
-		j.rootSpan = root.Start("job", 0)
-		j.queueSpan = j.rootSpan.Context().Start("queue", 0)
-	}
-	select {
-	case s.queue <- j:
-	default:
-		cancel()
+	j := s.newJob(id, v, true)
+	j.key = key
+	if err := s.store.Admit(id, canonical, v.seedDerived); err != nil {
+		j.cancel()
 		s.nextID-- // the ID was never exposed
-		s.met.rejected.Inc()
-		return nil, &Error{Status: http.StatusTooManyRequests, Kind: "queue-full",
-			Message:       fmt.Sprintf("job queue full (%d queued)", len(s.queue)),
-			RetryAfterSec: s.retryAfterSec(len(s.queue)),
-		}
+		s.mu.Unlock()
+		return nil, &Error{Status: http.StatusInternalServerError, Kind: "store",
+			Message: fmt.Sprintf("job store admit: %v", err)}
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, j)
+	s.queue <- j
 	s.met.submitted.Inc()
+	s.mu.Unlock()
 	_ = s.sink.Emit(j.rec())
 	return j, nil
+}
+
+// completeFromCache finishes a cache-hit job without running it: the
+// memoized stream replays into the buffer, the job jumps straight to
+// done with the memoized summary and the cached marker, and the
+// standard finalize path appends the terminal record, persists the
+// outcome and journals it. The store sees only admit + terminal for
+// such jobs — there was no queued or running phase to record.
+func (s *Server) completeFromCache(j *Job, ent *cacheEntry, canonical []byte) {
+	_ = s.store.Admit(j.ID, canonical, j.v.seedDerived)
+	j.buf.appendRaw(ent.lines)
+	j.mu.Lock()
+	j.state = StateDone
+	j.cached = true
+	if ent.summary != nil {
+		sum := *ent.summary
+		j.summary = &sum
+	}
+	j.mu.Unlock()
+	s.finalize(j)
 }
 
 // Job looks up a job by ID.
@@ -217,7 +471,7 @@ func (s *Server) Job(id string) (*Job, bool) {
 // with the terminal record appended to the result stream and the
 // service journal and the buffer closed so streaming clients get EOF.
 func (s *Server) runJob(j *Job) {
-	if !j.begin() {
+	if !j.begin(s.store) {
 		s.finalize(j)
 		return
 	}
@@ -252,8 +506,13 @@ func (s *Server) runJob(j *Job) {
 
 // finalize seals a terminal job exactly once: stamps the wall clock,
 // appends the terminal job record to the result stream and the
-// service journal, closes the buffer (EOF for streamers), releases
-// the job context and bumps the outcome counters.
+// service journal, memoizes a done run into the result cache,
+// finalizes the buffer (everything spills to the store, EOF for
+// streamers), persists the terminal state, releases the job context
+// and bumps the outcome counters. Everything up to the store write
+// happens under j.mu, so the store's record order matches the job's
+// actual transition order even against a racing cancel (lock order:
+// j.mu, then buffer/cache/store locks; never the server's mu).
 func (s *Server) finalize(j *Job) {
 	j.mu.Lock()
 	if j.finalized || !j.state.terminal() {
@@ -264,14 +523,18 @@ func (s *Server) finalize(j *Job) {
 	if !j.started.IsZero() {
 		j.wallNS = time.Since(j.started).Nanoseconds()
 	} else if !j.admitted.IsZero() {
-		// Canceled while queued: the whole residence was queue wait.
+		// Canceled while queued (or served from cache): the whole
+		// residence was queue wait.
 		j.queueWaitNS = time.Since(j.admitted).Nanoseconds()
 	}
 	rec := j.recLocked()
 	state := j.state
 	wall := j.wallNS
 	queueWait := j.queueWaitNS
-	j.mu.Unlock()
+	var summary json.RawMessage
+	if j.summary != nil {
+		summary, _ = json.Marshal(j.summary)
+	}
 
 	// The root span (admission -> terminal) and, for jobs that never
 	// started, the still-open queue span are sealed before the terminal
@@ -284,7 +547,27 @@ func (s *Server) finalize(j *Job) {
 		j.rootSpan.End()
 	}
 	_ = j.buf.Emit(rec)
-	j.buf.close()
+	if state == StateDone && !j.cached && j.key != "" && s.cache.enabled() {
+		// Memoize the run: the full stream minus the terminal record
+		// just appended (a future hit appends its own).
+		if lines, err := j.buf.all(); err == nil && len(lines) > 0 {
+			var sum *JobSummary
+			if j.summary != nil {
+				c := *j.summary
+				sum = &c
+			}
+			if n := s.cache.put(j.key, lines[:len(lines)-1], sum); n > 0 {
+				s.met.cacheEvictions.Add(uint64(n))
+			}
+		}
+	}
+	total := j.buf.len()
+	_ = j.buf.finalize()
+	_ = s.store.Finalize(j.ID, store.Final{
+		State: storeState(state), Error: rec.Error, Summary: summary,
+		Cached: j.cached, WallNS: wall, ResultLines: total,
+	})
+	j.mu.Unlock()
 	_ = s.sink.Emit(rec)
 	j.cancel()
 	switch state {
@@ -370,12 +653,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("bad job body: %v", err))
 		return
 	}
-	j, jerr := s.Submit(spec)
+	j, jerr := s.submit(spec, r.Header.Get("Idempotency-Key"))
 	if jerr != nil {
 		writeError(w, jerr)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.Header().Set("Idempotency-Key", j.key)
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
@@ -441,7 +725,13 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	stopWaiting := func() bool { return !follow || r.Context().Err() != nil }
 	sent := 0
 	for {
-		lines, closed := j.buf.wait(sent, stopWaiting)
+		lines, closed, err := j.buf.wait(sent, stopWaiting)
+		if err != nil {
+			// Lines already spilled to the store could not be read
+			// back; the NDJSON body may be mid-stream, so all we can
+			// do is stop cleanly.
+			return
+		}
 		for _, line := range lines {
 			if _, err := w.Write(line); err != nil {
 				return

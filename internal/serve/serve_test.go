@@ -23,7 +23,10 @@ import (
 // newTestServer starts a Server behind httptest and registers cleanup.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -189,7 +192,7 @@ func TestJobDeterminism(t *testing.T) {
 		t.Fatal(verr)
 	}
 	pr := spec2.proto
-	buf := newBuffer()
+	buf := newBuffer(0, nil, nil, nil)
 	sup := sim.Supervision{StepBudget: spec.Budget, Sink: buf}
 	sim.RunBatchSupervised(context.Background(), pr, spec.Trials, 1, sup,
 		sim.BatchObs{Sink: buf}, func(trial, attempt int) sim.Trial {
@@ -204,7 +207,10 @@ func TestJobDeterminism(t *testing.T) {
 			}
 			return sim.Trial{Cfg: cfg, Sched: sc}
 		})
-	direct, _ := buf.wait(0, func() bool { return true })
+	direct, err := buf.all()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var got []string
 	for _, line := range lines {

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkWALAppend measures one lifecycle record append (CRC frame +
+// write, no fsync) — the cost the WAL adds to every admission and
+// state transition on the serving path.
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := OpenWAL(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	spec := json.RawMessage(`{"kind":"sim","protocol":"asym","p":4,"n":4,"seed":7,"budget":50000}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Admit(fmt.Sprintf("j%06d", i+1), spec, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALFinalize measures the fsync-bearing terminal write — the
+// WAL's only synchronous disk barrier, paid once per job.
+func BenchmarkWALFinalize(b *testing.B) {
+	w, err := OpenWAL(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	sum := json.RawMessage(`{"ok":true}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("j%06d", i+1)
+		if err := w.Admit(id, nil, false); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Finalize(id, Final{State: StateDone, Summary: sum, ResultLines: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALReplay measures boot-time recovery cost as the log
+// grows: open (read + decode + truncate check + fold) over a store
+// holding jobs complete lifecycles.
+func BenchmarkWALReplay(b *testing.B) {
+	for _, jobs := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			dir := b.TempDir()
+			w, err := OpenWAL(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec := json.RawMessage(`{"kind":"sim","protocol":"asym","p":4,"n":4,"seed":7,"budget":50000}`)
+			for i := 0; i < jobs; i++ {
+				id := fmt.Sprintf("j%06d", i+1)
+				if err := w.Admit(id, spec, false); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.SetState(id, StateRunning); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Finalize(id, Final{State: StateDone,
+					Summary: json.RawMessage(`{"ok":true}`), ResultLines: 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, err := OpenWAL(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				snaps, err := w.Replay()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(snaps) != jobs {
+					b.Fatalf("replayed %d, want %d", len(snaps), jobs)
+				}
+				w.Close()
+			}
+		})
+	}
+}

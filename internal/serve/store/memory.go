@@ -1,0 +1,124 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Memory is the in-memory job store: the pre-durability behavior
+// (jobs and result logs live in maps, nothing survives the process),
+// extracted behind the store interface so the serving layer stays
+// implementation-blind. It also doubles as the restart-recovery test
+// double: hand the same *Memory to a second server and Replay returns
+// everything the first one stored.
+type Memory struct {
+	mu      sync.Mutex
+	snaps   map[string]*Snapshot
+	order   []string
+	results map[string][][]byte
+}
+
+// NewMemory builds an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{
+		snaps:   make(map[string]*Snapshot),
+		results: make(map[string][][]byte),
+	}
+}
+
+// Kind identifies the implementation for metrics and startup lines.
+func (m *Memory) Kind() string { return "memory" }
+
+// Admit records a new job admission. Duplicate admissions keep the
+// original (matching Fold's WAL semantics).
+func (m *Memory) Admit(id string, spec json.RawMessage, seedDerived bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.snaps[id]; ok {
+		return nil
+	}
+	m.snaps[id] = &Snapshot{
+		ID: id, Spec: append(json.RawMessage(nil), spec...),
+		SeedDerived: seedDerived, State: StateQueued,
+	}
+	m.order = append(m.order, id)
+	return nil
+}
+
+// SetState records a non-terminal transition (queued on re-queue,
+// running on pickup). Terminal states are sticky, like Fold.
+func (m *Memory) SetState(id, state string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.snaps[id]
+	if !ok || Terminal(s.State) {
+		return nil
+	}
+	s.State = state
+	return nil
+}
+
+// Finalize records a terminal transition and its outcome.
+func (m *Memory) Finalize(id string, fin Final) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.snaps[id]
+	if !ok || Terminal(s.State) {
+		return nil
+	}
+	s.State = fin.State
+	s.Error = fin.Error
+	s.Summary = append(json.RawMessage(nil), fin.Summary...)
+	s.Cached = fin.Cached
+	s.WallNS = fin.WallNS
+	s.ResultLines = fin.ResultLines
+	return nil
+}
+
+// AppendResults appends finalized or spilled NDJSON lines (each with
+// its trailing newline) to the job's result log.
+func (m *Memory) AppendResults(id string, lines [][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.results[id] = append(m.results[id], lines...)
+	return nil
+}
+
+// ResetResults discards the job's result log (before a re-run).
+func (m *Memory) ResetResults(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.results, id)
+	return nil
+}
+
+// ReadResults returns result lines [from, to) (to < 0 reads to the
+// end). Lines are append-only and never mutated, so the returned views
+// are safe to write without a copy.
+func (m *Memory) ReadResults(id string, from, to int) ([][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lines := m.results[id]
+	if to < 0 {
+		to = len(lines)
+	}
+	if from < 0 || from > to || to > len(lines) {
+		return nil, fmt.Errorf("store: results %s: want lines [%d,%d), have %d", id, from, to, len(lines))
+	}
+	return lines[from:to], nil
+}
+
+// Replay returns every stored job in admission order.
+func (m *Memory) Replay() ([]Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snaps := make([]Snapshot, 0, len(m.order))
+	for _, id := range m.order {
+		snaps = append(snaps, *m.snaps[id])
+	}
+	return snaps, nil
+}
+
+// Close is a no-op for the in-memory store.
+func (m *Memory) Close() error { return nil }

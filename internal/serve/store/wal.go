@@ -1,0 +1,281 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"encoding/json"
+)
+
+// walFile is the WAL's file name inside the store directory.
+const walFile = "wal.jsonl"
+
+// resultsDir holds one <id>.ndjson result log per job.
+const resultsDir = "results"
+
+// WAL is the durable job store: an append-only CRC-framed JSONL
+// write-ahead log for lifecycle records plus one NDJSON file per job
+// for result logs, all under one directory. Opening the store replays
+// the log, truncating a torn final record (a crash mid-append), so a
+// SIGKILLed server restarts from exactly the records that reached the
+// kernel.
+//
+// Durability model: records are written with plain write(2) and the
+// WAL is fsynced on Finalize and Close, so process crashes (including
+// SIGKILL) lose nothing and a power loss can cost at most the tail
+// after the last finalized job. There is no compaction: the WAL grows
+// with job count (one admit plus a handful of state records per job).
+type WAL struct {
+	mu    sync.Mutex
+	dir   string
+	f     *os.File
+	seq   uint64
+	snaps []Snapshot
+	open  map[string]*os.File // result-log appenders for live jobs
+}
+
+// OpenWAL opens (or creates) a WAL store in dir, replaying the
+// existing log. A torn or corrupt record truncates the log at the last
+// intact record; everything before it is preserved.
+func OpenWAL(dir string) (*WAL, error) {
+	if err := os.MkdirAll(filepath.Join(dir, resultsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, walFile)
+	recs, good, total, err := readWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	if good < total {
+		if err := os.Truncate(path, good); err != nil {
+			return nil, fmt.Errorf("store: truncate torn wal: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w := &WAL{dir: dir, f: f, snaps: Fold(recs), open: make(map[string]*os.File)}
+	if n := len(recs); n > 0 {
+		w.seq = recs[n-1].Seq
+	}
+	return w, nil
+}
+
+// readWAL parses the log, returning the valid records, the byte offset
+// just past the last intact record, and the file size. Decoding stops
+// at the first bad or torn record; the tail after it is dropped (the
+// only corruption a crash can produce is at the end, and result logs
+// of any job re-queued because of it are reset anyway).
+func readWAL(path string) (recs []Rec, good, total int64, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("store: %w", err)
+	}
+	total = int64(len(data))
+	var off int64
+	for off < total {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn final record: no newline reached the disk
+		}
+		rec, derr := DecodeRec(data[off : off+int64(nl)])
+		if derr != nil {
+			break // torn or corrupt: truncate here
+		}
+		recs = append(recs, rec)
+		off += int64(nl) + 1
+		good = off
+	}
+	return recs, good, total, nil
+}
+
+// Kind identifies the implementation for metrics and startup lines.
+func (w *WAL) Kind() string { return "wal" }
+
+// appendLocked frames and writes one record; callers hold w.mu.
+func (w *WAL) appendLocked(r Rec) error {
+	w.seq++
+	r.V = Version
+	r.Seq = w.seq
+	line, err := EncodeRec(r)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	return nil
+}
+
+// Admit records a job admission.
+func (w *WAL) Admit(id string, spec json.RawMessage, seedDerived bool) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(Rec{T: RecAdmit, ID: id, Spec: spec, SeedDerived: seedDerived})
+}
+
+// SetState records a non-terminal transition.
+func (w *WAL) SetState(id, state string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(Rec{T: RecState, ID: id, State: state})
+}
+
+// Finalize syncs and closes the job's result log, records the terminal
+// transition and fsyncs the WAL, in that order — so a replayed
+// terminal record always implies a complete result log.
+func (w *WAL) Finalize(id string, fin Final) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if rf, ok := w.open[id]; ok {
+		delete(w.open, id)
+		if err := rf.Sync(); err != nil {
+			rf.Close()
+			return fmt.Errorf("store: results sync: %w", err)
+		}
+		if err := rf.Close(); err != nil {
+			return fmt.Errorf("store: results close: %w", err)
+		}
+	}
+	if err := w.appendLocked(Rec{
+		T: RecState, ID: id, State: fin.State, Error: fin.Error,
+		Summary: fin.Summary, Cached: fin.Cached,
+		WallNS: fin.WallNS, ResultLines: fin.ResultLines,
+	}); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// AppendResults appends NDJSON lines (each with its trailing newline)
+// to the job's result log, opening it lazily on first use.
+func (w *WAL) AppendResults(id string, lines [][]byte) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rf, ok := w.open[id]
+	if !ok {
+		var err error
+		rf, err = os.OpenFile(w.resultPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		w.open[id] = rf
+	}
+	var buf bytes.Buffer
+	for _, line := range lines {
+		buf.Write(line)
+	}
+	if _, err := rf.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("store: results append: %w", err)
+	}
+	return nil
+}
+
+// ResetResults discards the job's result log (before a re-run).
+func (w *WAL) ResetResults(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if rf, ok := w.open[id]; ok {
+		delete(w.open, id)
+		rf.Close()
+	}
+	if err := os.Remove(w.resultPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// ReadResults returns result lines [from, to) (to < 0 reads to the
+// end). The log is append-only, so reading concurrently with appends
+// is safe; a trailing line without its newline (torn by a crash) is
+// dropped.
+func (w *WAL) ReadResults(id string, from, to int) ([][]byte, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	if from == to {
+		return nil, nil
+	}
+	f, err := os.Open(w.resultPath(id))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: results %s: no log (want lines [%d,%d))", id, from, to)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	var lines [][]byte
+	r := bufio.NewReaderSize(f, 1<<16)
+	for i := 0; to < 0 || i < to; i++ {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			break // a partial final line (no newline) is torn: drop it
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: results read: %w", err)
+		}
+		if i >= from {
+			lines = append(lines, line)
+		}
+	}
+	if to >= 0 && len(lines) < to-from {
+		return nil, fmt.Errorf("store: results %s: want lines [%d,%d), have %d", id, from, to, from+len(lines))
+	}
+	return lines, nil
+}
+
+// Replay returns the jobs folded from the log at open time, in
+// admission order.
+func (w *WAL) Replay() ([]Snapshot, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Snapshot(nil), w.snaps...), nil
+}
+
+// Close fsyncs and closes the WAL and any open result logs.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for id, rf := range w.open {
+		delete(w.open, id)
+		rf.Sync()
+		rf.Close()
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	return w.f.Close()
+}
+
+func (w *WAL) resultPath(id string) string {
+	return filepath.Join(w.dir, resultsDir, id+".ndjson")
+}
+
+// validID rejects IDs that could escape the results directory. Server
+// IDs are j%06d; the check keeps the store safe as a library.
+func validID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	return nil
+}

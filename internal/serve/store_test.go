@@ -1,0 +1,732 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"popnaming/internal/serve/store"
+)
+
+// quickSpec is a seeded sim job that finishes well inside its budget —
+// the smallest job that exercises the full lifecycle.
+func quickSpec(seed int64) Spec {
+	return Spec{Kind: KindSim, Protocol: "asym", P: 4, N: 4, Seed: seed, Budget: 100_000}
+}
+
+// canonStream canonicalizes a result stream for cross-run comparison:
+// wall-clock fields dropped, "job" records skipped (they carry the
+// job's ID, which differs between runs of the same spec). The header
+// and every engine record survive — for one spec they must match
+// byte-for-byte after canonicalization.
+func canonStream(t *testing.T, lines [][]byte) []string {
+	t.Helper()
+	var out []string
+	for _, line := range lines {
+		if recType(t, line) == "job" {
+			continue
+		}
+		out = append(out, canonicalize(t, line))
+	}
+	return out
+}
+
+// postJobKey is postJob with an Idempotency-Key request header.
+func postJobKey(t *testing.T, ts *httptest.Server, spec Spec, key string) (int, JobView, *Error, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		var v JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode job view: %v", err)
+		}
+		return resp.StatusCode, v, nil, resp.Header
+	}
+	var e struct {
+		Error *Error `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	return resp.StatusCode, JobView{}, e.Error, resp.Header
+}
+
+// TestLateEmitSentinel pins the post-finalization emit contract: the
+// buffer answers ErrLateEmit instead of silently appending, and the
+// server wires that into the late_emits counter.
+func TestLateEmitSentinel(t *testing.T) {
+	late := 0
+	b := newBuffer(0, nil, nil, func() { late++ })
+	if err := b.Emit(map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Emit(map[string]int{"a": 2}); !errors.Is(err, ErrLateEmit) {
+		t.Fatalf("emit after finalize: err = %v, want ErrLateEmit", err)
+	}
+	if late != 1 {
+		t.Fatalf("late hook ran %d times, want 1", late)
+	}
+	if b.len() != 1 {
+		t.Fatalf("late emit changed the log: len %d, want 1", b.len())
+	}
+
+	// The server-wired buffer feeds the metric.
+	s, err := New(Config{Workers: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sb := s.newJobBuffer("j000099")
+	if err := sb.finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Emit(map[string]int{"a": 3}); !errors.Is(err, ErrLateEmit) {
+		t.Fatalf("server buffer late emit: err = %v", err)
+	}
+	if got := s.met.lateEmits.Value(); got != 1 {
+		t.Fatalf("late_emits = %d, want 1", got)
+	}
+}
+
+// TestBufferSpill pins the bounded-buffer contract: past the byte cap
+// the in-RAM tail moves to the store, logical indexes stay stable, and
+// readers see the full log in emit order through the fetch path.
+func TestBufferSpill(t *testing.T) {
+	m := store.NewMemory()
+	b := newBuffer(64,
+		func(lines [][]byte) error { return m.AppendResults("x", lines) },
+		func(from, to int) ([][]byte, error) { return m.ReadResults("x", from, to) },
+		nil)
+	const total = 20
+	for i := 0; i < total; i++ {
+		if err := b.Emit(map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.len() != total {
+		t.Fatalf("len = %d, want %d", b.len(), total)
+	}
+	spilled, err := m.ReadResults("x", 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spilled) == 0 {
+		t.Fatal("nothing spilled despite the 64-byte cap")
+	}
+	if len(spilled) >= total {
+		t.Fatalf("everything spilled pre-finalize: %d of %d", len(spilled), total)
+	}
+	all, err := b.all()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != total {
+		t.Fatalf("all() = %d lines, want %d", len(all), total)
+	}
+	for i, line := range all {
+		var rec struct {
+			I int `json:"i"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil || rec.I != i {
+			t.Fatalf("line %d = %q (err %v), want i=%d", i, line, err, i)
+		}
+	}
+	// finalize pushes the rest out of RAM; the logical log is unchanged.
+	if err := b.finalize(); err != nil {
+		t.Fatal(err)
+	}
+	spilled, err = m.ReadResults("x", 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spilled) != total {
+		t.Fatalf("post-finalize store has %d lines, want %d", len(spilled), total)
+	}
+	all, err = b.all()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != total {
+		t.Fatalf("post-finalize all() = %d lines, want %d", len(all), total)
+	}
+}
+
+// TestCacheHitServesWithoutRerun pins the content-addressed cache: an
+// identical seeded resubmission answers terminal-done from memory with
+// the cached marker, the original stream verbatim (new terminal record
+// aside), flat simulation counters, and an Idempotency-Key header that
+// round-trips — with mismatches rejected.
+func TestCacheHitServesWithoutRerun(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueCap: 8})
+	spec := Spec{
+		Kind: KindBatch, Protocol: "asym", P: 4, N: 4,
+		Seed: 7, Trials: 3, Workers: 1, Budget: 200_000,
+	}
+	status, v1, _, hdr1 := postJob(t, ts, spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	key := hdr1.Get("Idempotency-Key")
+	if !strings.HasPrefix(key, "sha256:") {
+		t.Fatalf("Idempotency-Key header %q, want sha256:<hex>", key)
+	}
+	waitState(t, ts, v1.ID, StateDone, 30*time.Second)
+	lines1 := streamLines(t, ts, v1.ID)
+	steps0 := s.met.trialSteps.Value()
+
+	status, v2, _, hdr2 := postJob(t, ts, spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("resubmit status %d", status)
+	}
+	if v2.ID == v1.ID {
+		t.Fatalf("resubmission reused job ID %s", v1.ID)
+	}
+	if v2.State != StateDone || !v2.Cached {
+		t.Fatalf("resubmission view state=%q cached=%v, want done/true", v2.State, v2.Cached)
+	}
+	if v2.Summary == nil || !v2.Summary.OK {
+		t.Fatalf("cached summary %+v", v2.Summary)
+	}
+	if got := hdr2.Get("Idempotency-Key"); got != key {
+		t.Fatalf("hit Idempotency-Key %q, want %q", got, key)
+	}
+	if got := s.met.trialSteps.Value(); got != steps0 {
+		t.Fatalf("cache hit re-simulated: trial steps %d -> %d", steps0, got)
+	}
+	if got := s.met.cacheHits.Value(); got != 1 {
+		t.Fatalf("cache_hits = %d, want 1", got)
+	}
+
+	// The hit's stream is the original prefix verbatim (header included)
+	// plus its own terminal record carrying the new ID and the marker.
+	lines2 := streamLines(t, ts, v2.ID)
+	if len(lines2) != len(lines1) {
+		t.Fatalf("hit stream has %d records, original %d", len(lines2), len(lines1))
+	}
+	for i := 0; i < len(lines1)-1; i++ {
+		if !bytes.Equal(lines1[i], lines2[i]) {
+			t.Fatalf("record %d differs:\noriginal: %s\nhit:      %s", i, lines1[i], lines2[i])
+		}
+	}
+	var term JobRec
+	if err := json.Unmarshal(lines2[len(lines2)-1], &term); err != nil {
+		t.Fatal(err)
+	}
+	if term.ID != v2.ID || !term.Cached || term.State != string(StateDone) {
+		t.Fatalf("hit terminal record %+v, want id=%s cached done", term, v2.ID)
+	}
+
+	// A client key that does not match the canonical hash is a 400; the
+	// matching key is accepted and hits again.
+	status, _, jerr, _ := postJobKey(t, ts, spec, "sha256:wrong")
+	if status != http.StatusBadRequest || jerr == nil || jerr.Kind != "idempotency-mismatch" {
+		t.Fatalf("mismatched key: status %d body %+v", status, jerr)
+	}
+	status, v3, _, _ := postJobKey(t, ts, spec, key)
+	if status != http.StatusAccepted || !v3.Cached {
+		t.Fatalf("matching key: status %d cached=%v", status, v3.Cached)
+	}
+}
+
+// TestRestartRestoresCompletedJobs pins terminal-job recovery: a second
+// server over the same store serves the finished job's view, summary
+// and byte-identical stream, re-seeds the result cache from it, and
+// continues the ID sequence past it.
+func TestRestartRestoresCompletedJobs(t *testing.T) {
+	m := store.NewMemory()
+	s1, err := New(Config{Workers: 1, QueueCap: 4, Store: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	status, v1, _, _ := postJob(t, ts1, quickSpec(2))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	done := waitState(t, ts1, v1.ID, StateDone, 30*time.Second)
+	lines1 := streamLines(t, ts1, v1.ID)
+	ts1.Close()
+	s1.Close()
+
+	s2, err := New(Config{Workers: 1, QueueCap: 4, Store: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+	})
+	if got := s2.met.restored.Value(); got != 1 {
+		t.Fatalf("jobs_restored = %d, want 1", got)
+	}
+	v := getView(t, ts2, v1.ID)
+	if v.State != StateDone || v.Records != len(lines1) {
+		t.Fatalf("restored view state=%q records=%d, want done/%d", v.State, v.Records, len(lines1))
+	}
+	if v.Summary == nil || !v.Summary.OK || v.Summary.Steps != done.Summary.Steps {
+		t.Fatalf("restored summary %+v, want %+v", v.Summary, done.Summary)
+	}
+	if v.IdempotencyKey == "" || v.Seed != 2 {
+		t.Fatalf("restored identity: key=%q seed=%d", v.IdempotencyKey, v.Seed)
+	}
+	lines2 := streamLines(t, ts2, v1.ID)
+	if len(lines2) != len(lines1) {
+		t.Fatalf("restored stream %d records, want %d", len(lines2), len(lines1))
+	}
+	for i := range lines1 {
+		if !bytes.Equal(lines1[i], lines2[i]) {
+			t.Fatalf("restored record %d differs:\nbefore: %s\nafter:  %s", i, lines1[i], lines2[i])
+		}
+	}
+	// The cache was re-seeded from the store: an identical resubmission
+	// is a hit, and its ID continues past the restored one.
+	status, v2, _, _ := postJob(t, ts2, quickSpec(2))
+	if status != http.StatusAccepted {
+		t.Fatalf("resubmit status %d", status)
+	}
+	if !v2.Cached || v2.State != StateDone {
+		t.Fatalf("post-restart resubmission state=%q cached=%v, want done/true", v2.State, v2.Cached)
+	}
+	if v2.ID <= v1.ID {
+		t.Fatalf("ID sequence did not continue: %s after %s", v2.ID, v1.ID)
+	}
+}
+
+// TestRestartRequeuesInterruptedJobs pins mid-flight recovery: jobs the
+// previous process left queued or running are re-queued at boot, their
+// partial result logs reset, and the deterministic re-run matches a
+// fresh reference run record-for-record.
+func TestRestartRequeuesInterruptedJobs(t *testing.T) {
+	// Craft the store a crashed server would leave behind: one job
+	// caught running with a partial result log, one still queued.
+	v, verr := prepare(quickSpec(2))
+	if verr != nil {
+		t.Fatal(verr)
+	}
+	canonical, err := canonicalSpec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := store.NewMemory()
+	for _, id := range []string{"j000001", "j000002"} {
+		if err := m.Admit(id, canonical, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.SetState("j000001", store.StateRunning); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendResults("j000001", [][]byte{[]byte("{\"partial\":true}\n")}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{Workers: 2, QueueCap: 4, Store: m, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	if got := s.met.requeued.Value(); got != 2 {
+		t.Fatalf("jobs_requeued = %d, want 2", got)
+	}
+	waitState(t, ts, "j000001", StateDone, 30*time.Second)
+	waitState(t, ts, "j000002", StateDone, 30*time.Second)
+
+	// The reference: the same spec on a fresh server.
+	_, tsRef := newTestServer(t, Config{Workers: 1, QueueCap: 4, CacheBytes: -1})
+	status, ref, _, _ := postJob(t, tsRef, quickSpec(2))
+	if status != http.StatusAccepted {
+		t.Fatalf("reference submit status %d", status)
+	}
+	waitState(t, tsRef, ref.ID, StateDone, 30*time.Second)
+	want := canonStream(t, streamLines(t, tsRef, ref.ID))
+
+	for _, id := range []string{"j000001", "j000002"} {
+		lines := streamLines(t, ts, id)
+		for _, line := range lines {
+			if bytes.Contains(line, []byte("partial")) {
+				t.Fatalf("%s: stale pre-crash line survived the reset: %s", id, line)
+			}
+		}
+		got := canonStream(t, lines)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d canonical records, reference %d", id, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s record %d differs:\nrerun:     %s\nreference: %s", id, i, got[i], want[i])
+			}
+		}
+	}
+	// The store journaled the full second lifecycle.
+	snaps, err := m.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("store holds %d jobs, want 2", len(snaps))
+	}
+	for _, snap := range snaps {
+		if snap.State != store.StateDone || snap.ResultLines == 0 {
+			t.Fatalf("snapshot %s: state=%q lines=%d", snap.ID, snap.State, snap.ResultLines)
+		}
+	}
+}
+
+// TestCancelRacePickup drives the cancel-while-queued vs worker-pickup
+// race under load (run with -race via make race-store): every job must
+// land terminal canceled in both the server's view and the store's
+// record sequence, never journaled running after canceled.
+func TestCancelRacePickup(t *testing.T) {
+	s, err := New(Config{Workers: 4, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const rounds = 40
+	jobs := make([]*Job, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		j, jerr := s.Submit(longRunningSpec())
+		if jerr != nil {
+			t.Fatalf("submit %d: %v", i, jerr)
+		}
+		s.Cancel(j)
+		jobs = append(jobs, j)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for _, j := range jobs {
+		for {
+			v := j.view()
+			if v.State.terminal() {
+				if v.State != StateCanceled {
+					t.Fatalf("%s: terminal state %q, want canceled", j.ID, v.State)
+				}
+				if v.Error == "canceled while queued" && v.Records != 1 {
+					t.Fatalf("%s: queued-cancel stream has %d records, want 1", j.ID, v.Records)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s stuck in %q", j.ID, v.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	snaps, err := s.store.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != rounds {
+		t.Fatalf("store holds %d jobs, want %d", len(snaps), rounds)
+	}
+	for _, snap := range snaps {
+		if snap.State != store.StateCanceled {
+			t.Fatalf("store snapshot %s: state %q, want canceled", snap.ID, snap.State)
+		}
+	}
+}
+
+// TestKillRestartRecovery is the crash acceptance test: the real binary
+// is SIGKILLed mid-batch and restarted against the same -store-dir. The
+// finished job must come back byte-identical, the interrupted jobs must
+// re-queue and re-run deterministically, and a resubmission of the
+// finished spec must be served from the re-seeded cache with the
+// simulation counters flat.
+func TestKillRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ppserved")
+	build := exec.Command("go", "build", "-o", bin, "popnaming/cmd/ppserved")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	storeDir := filepath.Join(dir, "store")
+
+	start := func(workers string) (*exec.Cmd, string) {
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", workers,
+			"-store", "wal", "-store-dir", storeDir, "-grace", "5s")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(stdout)
+		var addr string
+		for sc.Scan() {
+			if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+				addr = strings.Fields(rest)[0]
+				break
+			}
+		}
+		if addr == "" {
+			cmd.Process.Kill()
+			t.Fatalf("no listening line (scan err %v)", sc.Err())
+		}
+		go func() {
+			for sc.Scan() {
+			}
+		}()
+		return cmd, "http://" + addr
+	}
+	post := func(base, body string) JobView {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b, _ := json.Marshal(resp.Header)
+			t.Fatalf("submit status %d (%s)", resp.StatusCode, b)
+		}
+		var v JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	view := func(base, id string) JobView {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	await := func(base, id string, want JobState, d time.Duration) {
+		stop := time.Now().Add(d)
+		for {
+			v := view(base, id)
+			if v.State == want {
+				return
+			}
+			if time.Now().After(stop) {
+				t.Fatalf("job %s stuck in %q (want %q)", id, v.State, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	results := func(base, id string) []byte {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/results?follow=false")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	promValue := func(base, name string) string {
+		resp, err := http.Get(base + "/metrics?format=prometheus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if val, ok := strings.CutPrefix(sc.Text(), name+" "); ok {
+				return val
+			}
+		}
+		t.Fatalf("metric %s not exposed", name)
+		return ""
+	}
+
+	quick1 := `{"kind":"sim","protocol":"asym","p":4,"n":4,"seed":2,"budget":100000}`
+	blocker := `{"kind":"sim","protocol":"asym","p":4,"n":4,"seed":3,"budget":274877906944,"faults":"@999999999999:corrupt=1"}`
+	quick2 := `{"kind":"sim","protocol":"asym","p":4,"n":4,"seed":5,"budget":100000}`
+
+	cmd, base := start("1")
+	defer cmd.Process.Kill()
+	j1 := post(base, quick1)
+	await(base, j1.ID, StateDone, 30*time.Second)
+	body1 := results(base, j1.ID)
+	if len(body1) == 0 {
+		t.Fatal("finished job streamed no bytes")
+	}
+	jb := post(base, blocker)
+	await(base, jb.ID, StateRunning, 10*time.Second)
+	j2 := post(base, quick2)
+	if v := view(base, j2.ID); v.State != StateQueued {
+		t.Fatalf("third job state %q, want queued at kill time", v.State)
+	}
+	// SIGKILL: no drain, no flush beyond what the WAL already holds.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// Restart with 2 workers: the never-converging blocker is requeued
+	// ahead of the quick job, and both must get a worker.
+	cmd2, base2 := start("2")
+	defer cmd2.Process.Kill()
+
+	// The finished job survived byte-for-byte.
+	if v := view(base2, j1.ID); v.State != StateDone || v.Summary == nil || !v.Summary.OK {
+		t.Fatalf("restored job view %+v", v)
+	}
+	if body := results(base2, j1.ID); !bytes.Equal(body, body1) {
+		t.Fatalf("restored results differ:\nbefore: %d bytes\nafter:  %d bytes\n%s\nvs\n%s",
+			len(body1), len(body), body1, body)
+	}
+	if got := promValue(base2, "ppserved_jobs_requeued_total"); got != "2" {
+		t.Fatalf("ppserved_jobs_requeued_total = %s, want 2", got)
+	}
+
+	// The interrupted quick job re-ran deterministically: its stream
+	// matches a fresh in-process reference run of the same spec.
+	await(base2, j2.ID, StateDone, 30*time.Second)
+	_, tsRef := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	status, ref, _, _ := postJob(t, tsRef, quickSpec(5))
+	if status != http.StatusAccepted {
+		t.Fatalf("reference submit status %d", status)
+	}
+	waitState(t, tsRef, ref.ID, StateDone, 30*time.Second)
+	want := canonStream(t, streamLines(t, tsRef, ref.ID))
+	var rerunLines [][]byte
+	for _, line := range bytes.Split(bytes.TrimSuffix(results(base2, j2.ID), []byte("\n")), []byte("\n")) {
+		rerunLines = append(rerunLines, line)
+	}
+	got := canonStream(t, rerunLines)
+	if len(got) != len(want) {
+		t.Fatalf("rerun stream %d canonical records, reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rerun record %d differs:\nrerun:     %s\nreference: %s", i, got[i], want[i])
+		}
+	}
+
+	// The blocker re-queued too; cancel it so the server can drain.
+	await(base2, jb.ID, StateRunning, 20*time.Second)
+	resp, err := http.Post(base2+"/v1/jobs/"+jb.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	await(base2, jb.ID, StateCanceled, 30*time.Second)
+
+	// The cache was repopulated from the WAL: resubmitting the finished
+	// spec is a hit, served without a single new interaction.
+	steps0 := promValue(base2, "ppserved_interactions_total")
+	hit := post(base2, quick1)
+	if hit.State != StateDone || !hit.Cached {
+		t.Fatalf("post-restart resubmission state=%q cached=%v, want done/true", hit.State, hit.Cached)
+	}
+	if steps := promValue(base2, "ppserved_interactions_total"); steps != steps0 {
+		t.Fatalf("cache hit re-simulated after restart: interactions %s -> %s", steps0, steps)
+	}
+
+	if err := cmd2.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd2.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("ppserved exited non-zero after recovery: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ppserved did not exit")
+	}
+}
+
+// benchAdmitCold measures the end-to-end cold path — admission, queue,
+// simulation, finalization — per job, with a fresh seed each iteration
+// so the cache never short-circuits it.
+func benchAdmitCold(b *testing.B, cfg Config) {
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, jerr := s.Submit(quickSpec(int64(i + 1)))
+		if jerr != nil {
+			b.Fatal(jerr)
+		}
+		<-j.ctx.Done() // finalize releases the job context
+	}
+}
+
+func BenchmarkAdmitColdMemory(b *testing.B) {
+	benchAdmitCold(b, Config{Workers: 2, QueueCap: 8})
+}
+
+func BenchmarkAdmitColdWAL(b *testing.B) {
+	w, err := store.OpenWAL(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	benchAdmitCold(b, Config{Workers: 2, QueueCap: 8, Store: w})
+}
+
+// BenchmarkAdmitCacheHit measures the memoized path: the same seeded
+// spec, primed once, then answered from the result cache — terminal
+// before Submit returns.
+func BenchmarkAdmitCacheHit(b *testing.B) {
+	s, err := New(Config{Workers: 2, QueueCap: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	j, jerr := s.Submit(quickSpec(7))
+	if jerr != nil {
+		b.Fatal(jerr)
+	}
+	<-j.ctx.Done()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, jerr := s.Submit(quickSpec(7))
+		if jerr != nil {
+			b.Fatal(jerr)
+		}
+		if v := j.view(); !v.Cached || v.State != StateDone {
+			b.Fatalf("iteration %d not served from cache: %+v", i, v)
+		}
+	}
+}
