@@ -35,10 +35,16 @@ COUNT_BENCH = BenchmarkCountEngineScale|BenchmarkAgentEngineScale|BenchmarkCount
 # "Durability and the result cache" and EXPERIMENTS.md).
 STORE_BENCH = BenchmarkWALAppend|BenchmarkWALFinalize|BenchmarkWALReplay|BenchmarkAdmitColdMemory|BenchmarkAdmitColdWAL|BenchmarkAdmitCacheHit
 
-.PHONY: check vet build test race race-search race-fault race-serve race-count race-store fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve bench-trace bench-count bench-store serve
+# Sharded-execution benchmarks gating the scale-out claims: 1-node vs
+# 2/4-peer wall clock for the same batch, plus degraded-mode throughput
+# with a dead peer in rotation (see docs/service.md "Sharded
+# execution").
+DIST_BENCH = BenchmarkDistSharded|BenchmarkDistDegraded
+
+.PHONY: check vet build test race race-search race-fault race-serve race-count race-store race-dist fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve bench-trace bench-count bench-store bench-dist serve
 
 # check is the single entry point: everything CI (or a reviewer) needs.
-check: vet build race race-search race-fault race-serve race-count race-store fmt fuzzbuild
+check: vet build race race-search race-fault race-serve race-count race-store race-dist fmt fuzzbuild
 
 vet:
 	$(GO) vet ./...
@@ -83,6 +89,15 @@ race-count:
 race-store:
 	$(GO) test -race -count=1 ./internal/serve/store
 	$(GO) test -race -count=1 -run 'TestCancelRacePickup|TestCacheHitServes|TestRestartRestores|TestRestartRequeues|TestLateEmit|TestBufferSpill' ./internal/serve
+
+# race-dist re-runs the lease coordinator and the chaos/sharding suite
+# under the race detector with caching disabled: the coordinator shares
+# lease state between peer executor goroutines, the local fallback loop
+# and the delivery path, and the chaos proxies race it from real HTTP
+# handlers.
+race-dist:
+	$(GO) test -race -count=1 ./internal/dist
+	$(GO) test -race -count=1 -run 'TestDist' ./internal/serve
 
 # serve runs the simulation service locally on :8080.
 serve:
@@ -150,3 +165,12 @@ bench-count:
 bench-store:
 	$(GO) test -json -run='^$$' -bench='$(STORE_BENCH)' -benchmem -count=3 ./internal/serve ./internal/serve/store > BENCH_PR8.json
 	@echo "wrote BENCH_PR8.json ($$(wc -l < BENCH_PR8.json) events)"
+
+# bench-dist runs the sharded-execution benchmarks (1-node vs 2/4-peer
+# wall clock, degraded mode with a dead peer) and writes the go-test
+# JSON stream to BENCH_PR9.json. Wall-clock speedup from peers needs a
+# multi-core host; on one core the series prices pure coordination
+# overhead.
+bench-dist:
+	$(GO) test -json -run='^$$' -bench='$(DIST_BENCH)' -benchmem -count=3 ./internal/serve > BENCH_PR9.json
+	@echo "wrote BENCH_PR9.json ($$(wc -l < BENCH_PR9.json) events)"

@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,16 +54,38 @@ func main() {
 		storeKind  = flag.String("store", "memory", "job store: memory (jobs die with the process) or wal (durable; requires -store-dir)")
 		storeDir   = flag.String("store-dir", "", "WAL store directory (created if absent; required with -store wal)")
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result-cache byte budget; identical resubmissions are served from it (0 disables)")
+
+		peers        = flag.String("peers", "", "comma-separated base URLs of peer ppserved nodes; untraced batch jobs shard across them (empty: standalone)")
+		leaseTrials  = flag.Int("lease-trials", 0, "trials per lease when sharding batch jobs across peers (0: 64)")
+		leaseTimeout = flag.Duration("lease-timeout", 0, "ceiling on one lease attempt at a peer (0: 2m); the effective deadline adapts to observed batch wall times")
+		distRetries  = flag.Int("dist-retries", 0, "peer re-issues per lease before it is pinned to local execution (0: 3; negative: first failure falls back local)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *journal, *grace, *debugAddr, *storeKind, *storeDir, *cacheBytes); err != nil {
+	opts := distOptions{peers: *peers, leaseTrials: *leaseTrials, leaseTimeout: *leaseTimeout, retries: *distRetries}
+	if err := run(*addr, *workers, *queue, *journal, *grace, *debugAddr, *storeKind, *storeDir, *cacheBytes, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "ppserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, journal string, grace time.Duration, debugAddr, storeKind, storeDir string, cacheBytes int64) error {
-	cfg := serve.Config{Workers: workers, QueueCap: queue}
+// distOptions groups the sharded-execution flags.
+type distOptions struct {
+	peers        string
+	leaseTrials  int
+	leaseTimeout time.Duration
+	retries      int
+}
+
+func run(addr string, workers, queue int, journal string, grace time.Duration, debugAddr, storeKind, storeDir string, cacheBytes int64, opts distOptions) error {
+	cfg := serve.Config{Workers: workers, QueueCap: queue,
+		LeaseTrials: opts.leaseTrials, LeaseTimeout: opts.leaseTimeout, DistRetries: opts.retries}
+	if opts.peers != "" {
+		for _, p := range strings.Split(opts.peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+	}
 	switch storeKind {
 	case "memory":
 		if storeDir != "" {
@@ -107,6 +130,10 @@ func run(addr string, workers, queue int, journal string, grace time.Duration, d
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	fmt.Printf("ppserved: listening on %s (workers %d, queue %d, store %s)\n",
 		ln.Addr(), effectiveWorkers(workers), queue, storeKind)
+	if len(cfg.Peers) > 0 {
+		fmt.Printf("ppserved: sharding batch jobs across %d peer(s): %s\n",
+			len(cfg.Peers), strings.Join(cfg.Peers, ", "))
+	}
 
 	// The pprof listener is opt-in and separate from the service
 	// listener, so profiling endpoints are never exposed on the

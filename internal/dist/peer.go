@@ -1,0 +1,233 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Peer executes leases on a remote ppserved node over the v1 job API:
+// POST /v1/jobs with the original spec plus shard:{lo,hi}, then GET
+// /v1/jobs/{id}/results following the NDJSON stream to the terminal
+// job record. Peers own their health state: QuarantineAfter
+// consecutive failures quarantine the peer, and a passing /readyz
+// probe readmits it (the probe doubles as the saturation signal — a
+// peer answering 503 saturated takes no leases until it drains).
+type Peer struct {
+	// Base is the peer's base URL, e.g. "http://10.0.0.2:8080".
+	Base string
+	// Client is the HTTP client; nil uses a default with sane
+	// timeouts (per-attempt deadlines come from the request context).
+	Client *http.Client
+	// ShardBody renders the submission body for a lease: the full
+	// original job spec with shard set to the lease range. Supplied
+	// by the serving layer so dist stays spec-schema-agnostic.
+	ShardBody func(r Range) ([]byte, error)
+	// QuarantineAfter is the consecutive-failure threshold; <= 0
+	// means 3.
+	QuarantineAfter int
+
+	mu          sync.Mutex
+	fails       int
+	quarantined bool
+}
+
+// Name labels the peer in lease records.
+func (p *Peer) Name() string { return p.Base }
+
+func (p *Peer) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return http.DefaultClient
+}
+
+func (p *Peer) threshold() int {
+	if p.QuarantineAfter <= 0 {
+		return 3
+	}
+	return p.QuarantineAfter
+}
+
+// Observe records an attempt outcome: a success resets the failure
+// window, QuarantineAfter consecutive failures quarantine the peer.
+func (p *Peer) Observe(ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ok {
+		p.fails = 0
+		p.quarantined = false
+		return
+	}
+	p.fails++
+	if p.fails >= p.threshold() {
+		p.quarantined = true
+	}
+}
+
+// Quarantined reports the current health verdict.
+func (p *Peer) Quarantined() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quarantined
+}
+
+// Ready reports whether the peer may take a lease: a healthy peer
+// answers true without traffic, a quarantined one is probed via
+// /readyz and readmitted (failure window reset) when the probe
+// passes.
+func (p *Peer) Ready(ctx context.Context) bool {
+	if !p.Quarantined() {
+		return true
+	}
+	if !p.probe(ctx) {
+		return false
+	}
+	p.mu.Lock()
+	p.fails = 0
+	p.quarantined = false
+	p.mu.Unlock()
+	return true
+}
+
+// probe is one /readyz round trip.
+func (p *Peer) probe(ctx context.Context) bool {
+	probeCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, p.Base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Run executes one lease on the peer: submit the shard job, follow its
+// result stream to completion, and return the raw shard lines. Any
+// 5xx/429, connection drop, deadline, truncated NDJSON tail or
+// non-done terminal record is an attempt failure — the coordinator
+// re-issues the lease elsewhere. Peers deduplicate re-submissions of
+// the same shard through their content-addressed result cache, so a
+// re-issued lease that lands on a node that already ran it is served
+// from memory.
+func (p *Peer) Run(ctx context.Context, r Range) ([][]byte, error) {
+	body, err := p.ShardBody(r)
+	if err != nil {
+		return nil, fmt.Errorf("dist: shard body: %w", err)
+	}
+	return p.RunBody(ctx, r, body)
+}
+
+// RunBody is Run with the submission body supplied by the caller —
+// the hook for serving layers that keep one long-lived Peer (with its
+// health window) across many jobs, each rendering its own shard
+// bodies.
+func (p *Peer) RunBody(ctx context.Context, r Range, body []byte) ([][]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.Base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: submit %s: %w", r, err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, fmt.Errorf("dist: submit %s: %s: %s", r, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&view)
+	resp.Body.Close()
+	if err != nil || view.ID == "" {
+		return nil, fmt.Errorf("dist: submit %s: bad job view: %v", r, err)
+	}
+
+	req, err = http.NewRequestWithContext(ctx, http.MethodGet, p.Base+"/v1/jobs/"+view.ID+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err = p.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: results %s: %w", r, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("dist: results %s: %s: %s", r, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	lines, err := readShardStream(resp.Body)
+	if err != nil {
+		// Best effort: stop the abandoned shard job so the peer's
+		// workers drop it instead of finishing work nobody merges.
+		p.cancelJob(view.ID)
+		return nil, fmt.Errorf("dist: results %s: %w", r, err)
+	}
+	return lines, nil
+}
+
+// readShardStream collects the NDJSON stream, requiring a cleanly
+// terminated log: every line newline-framed and the last one a
+// terminal job record in state done. A connection cut mid-stream (a
+// half-written shard) fails here rather than merging short.
+func readShardStream(body io.Reader) ([][]byte, error) {
+	var lines [][]byte
+	br := bufio.NewReaderSize(body, 1<<16)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			if len(line) > 0 {
+				return nil, fmt.Errorf("truncated NDJSON tail (%d bytes)", len(line))
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty shard stream")
+	}
+	var last struct {
+		Type  string `json:"type"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		return nil, fmt.Errorf("bad terminal record: %w", err)
+	}
+	if last.Type != "job" || last.State != "done" {
+		return nil, fmt.Errorf("shard ended %s/%s: %s", last.Type, last.State, last.Error)
+	}
+	return lines, nil
+}
+
+// cancelJob fires a best-effort cancel for an abandoned shard job.
+func (p *Peer) cancelJob(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.Base+"/v1/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return
+	}
+	if resp, err := p.client().Do(req); err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+}

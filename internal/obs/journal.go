@@ -218,6 +218,34 @@ type BatchSummaryRec struct {
 	Utilization float64 `json:"utilization"`
 }
 
+// LeaseRec journals one lease lifecycle event of a distributed batch
+// job (see internal/dist): the coordinator issues contiguous trial
+// ranges [Lo, Hi) as leases, re-issues them on peer failure with a
+// bumped epoch, and accepts at most one completion per lease. State is
+// one of issued / completed / reissued / failed / duplicate / restored;
+// Peer names the executor ("local" or the peer base URL) and Reason
+// carries the failure that triggered a re-issue. Lease records go to
+// the service journal and the job store, never into the job's result
+// stream — the merged stream must stay byte-identical to a 1-node run.
+type LeaseRec struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+
+	Job    string `json:"job"`
+	Lease  int    `json:"lease"`
+	Lo     int    `json:"lo"`
+	Hi     int    `json:"hi"`
+	Epoch  int    `json:"epoch"`
+	State  string `json:"state"`
+	Peer   string `json:"peer,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// NewLeaseRec returns a lease lifecycle record.
+func NewLeaseRec(job string, lease, lo, hi, epoch int, state, peer, reason string) LeaseRec {
+	return LeaseRec{V: Version, Type: "lease", Job: job, Lease: lease, Lo: lo, Hi: hi, Epoch: epoch, State: state, Peer: peer, Reason: reason}
+}
+
 // CensusRec snapshots the per-state occupancy vector of a count-engine
 // run. It follows every progress record (and the final one emitted by
 // Finish) when the driver attached the census via Observer.TrackCensus;

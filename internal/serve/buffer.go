@@ -42,6 +42,13 @@ type buffer struct {
 	spill func(lines [][]byte) error
 	fetch func(from, to int) ([][]byte, error)
 	late  func()
+
+	// storeErr retains the first spill failure. Workload sinks ignore
+	// per-emit errors (obs.Sink's contract tolerates lossy sinks), so
+	// runJob checks this after execution and fails the job with a
+	// structured store error instead of finishing as done with records
+	// silently stuck in RAM.
+	storeErr error
 }
 
 func newBuffer(maxBytes int64, spill func([][]byte) error, fetch func(from, to int) ([][]byte, error), late func()) *buffer {
@@ -84,10 +91,20 @@ func (b *buffer) Emit(rec any) error {
 	var spillErr error
 	if b.spill != nil && b.maxBytes > 0 && b.memBytes > b.maxBytes {
 		spillErr = b.spillLocked()
+		if spillErr != nil && b.storeErr == nil {
+			b.storeErr = spillErr
+		}
 	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
 	return spillErr
+}
+
+// storeFailure returns the first spill error, if any.
+func (b *buffer) storeFailure() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.storeErr
 }
 
 // appendRaw appends pre-marshaled, newline-terminated lines (a cache
@@ -125,6 +142,9 @@ func (b *buffer) finalize() error {
 	var err error
 	if b.spill != nil && len(b.lines) > 0 {
 		err = b.spillLocked()
+		if err != nil && b.storeErr == nil {
+			b.storeErr = err
+		}
 	}
 	b.mu.Unlock()
 	b.cond.Broadcast()

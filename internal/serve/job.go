@@ -12,6 +12,7 @@ import (
 	"popnaming/internal/experiments"
 	"popnaming/internal/fault"
 	"popnaming/internal/obs"
+	"popnaming/internal/serve/store"
 	"popnaming/internal/sim"
 )
 
@@ -121,6 +122,15 @@ type Spec struct {
 	CorruptK    int `json:"corruptK,omitempty"`
 	ModelCheckP int `json:"modelCheckP,omitempty"`
 
+	// Shard restricts a batch job to the contiguous global trial range
+	// [lo, hi) of the logical batch described by the rest of the spec.
+	// This is the wire half of the dist shard protocol: a coordinator
+	// POSTs the original spec plus shard to a peer, and because trial
+	// seeds derive from the global index, the shard's records are
+	// byte-identical to the same trials of a 1-node run. Shard jobs
+	// always execute locally (a peer never re-distributes a shard).
+	Shard *ShardRange `json:"shard,omitempty"`
+
 	// Trace opts the job into span tracing: the result stream gains v1
 	// "span" records covering admission-to-terminal, queue wait, and —
 	// for sim/batch/campaign jobs — every trial, attempt and
@@ -130,6 +140,13 @@ type Spec struct {
 	// durNs/queueWaitNs. Untraced jobs emit exactly the pre-trace
 	// stream (the determinism contract is unchanged).
 	Trace bool `json:"trace,omitempty"`
+}
+
+// ShardRange is a contiguous global trial range [Lo, Hi) of a batch
+// job (see Spec.Shard).
+type ShardRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
 }
 
 // Error is the structured rejection body, rendered as
@@ -365,6 +382,14 @@ func prepare(spec Spec) (*validated, *Error) {
 	if sp.Kind != KindCampaign && (sp.Epochs != 0 || sp.CorruptK != 0) {
 		return nil, badRequest("epochs/corruptK apply to campaign jobs only")
 	}
+	if sp.Shard != nil {
+		if sp.Kind != KindBatch {
+			return nil, badRequest("shard applies to batch jobs only (got kind %q)", sp.Kind)
+		}
+		if sp.Shard.Lo < 0 || sp.Shard.Lo >= sp.Shard.Hi || sp.Shard.Hi > sp.Trials {
+			return nil, badRequest("shard [%d,%d) outside [0,trials=%d)", sp.Shard.Lo, sp.Shard.Hi, sp.Trials)
+		}
+	}
 	return v, nil
 }
 
@@ -464,6 +489,12 @@ type Job struct {
 	// at admission; it doubles as the Idempotency-Key header value.
 	key string
 
+	// restoredLeases carries the lease snapshots a previous incarnation
+	// journaled for this job (set once at restore, nil otherwise): the
+	// dist coordinator re-issues only the incomplete ones, restoring
+	// completed shards from the store.
+	restoredLeases []store.LeaseSnap
+
 	mu          sync.Mutex
 	state       JobState
 	errMsg      string
@@ -500,6 +531,8 @@ type JobView struct {
 	Workers     int      `json:"workers,omitempty"`
 	Seed        int64    `json:"seed"`
 	SeedDerived bool     `json:"seedDerived,omitempty"`
+	// Shard echoes a shard job's trial range.
+	Shard *ShardRange `json:"shard,omitempty"`
 	// Trace is the job's trace ID when span tracing was requested.
 	Trace string `json:"trace,omitempty"`
 	// Cached marks a job whose results were served from the result
@@ -528,7 +561,7 @@ func (j *Job) view() JobView {
 		Protocol: sp.Protocol, P: sp.P, N: sp.N, Sched: sp.Sched, Init: sp.Init,
 		Engine: sp.Engine, Sampler: sp.Sampler,
 		Faults: sp.Faults, Budget: sp.Budget, Trials: sp.Trials, Workers: sp.Workers,
-		Seed: sp.Seed, SeedDerived: j.v.seedDerived,
+		Seed: sp.Seed, SeedDerived: j.v.seedDerived, Shard: sp.Shard,
 		Cached: j.cached, IdempotencyKey: j.key,
 		Records: j.buf.len(), Error: j.errMsg, WallNS: j.wallNS, Summary: j.summary,
 	}

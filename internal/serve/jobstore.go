@@ -35,6 +35,17 @@ type JobStore interface {
 	// ReadResults returns result lines [from, to); to < 0 reads to the
 	// end of the log.
 	ReadResults(id string, from, to int) ([][]byte, error)
+	// PutLease records a lease transition of a distributed batch job
+	// (latest record per lease index wins on fold, completed sticky).
+	PutLease(id string, l store.LeaseSnap) error
+	// PutShard replaces a completed lease's shard log. The server
+	// writes the shard before the completed lease record, so a
+	// replayed completed lease implies a readable shard.
+	PutShard(id string, lease int, lines [][]byte) error
+	// ReadShard returns exactly n lines of a lease's shard log; fewer
+	// intact lines than requested is an error (a torn shard), which
+	// recovery answers by re-issuing the lease.
+	ReadShard(id string, lease, n int) ([][]byte, error)
 	// Replay returns every stored job in admission order. The server
 	// calls it exactly once, at construction; a WAL store answers with
 	// its open-time fold.

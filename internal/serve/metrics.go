@@ -56,6 +56,26 @@ type metrics struct {
 	bufSpilledBytes obs.Counter
 	lateEmits       obs.Counter
 
+	// streamWriteTimeouts counts /results streams torn down because a
+	// stalled client missed the per-write deadline (the slow-client
+	// guard: one dead follower cannot pin a goroutine and its buffer).
+	streamWriteTimeouts obs.Counter
+
+	// storeWriteErrors counts failed writes to the job store (WAL
+	// append, result spill, finalize). Spill failures fail the job with
+	// a structured error; this counter makes the disk trouble visible
+	// either way.
+	storeWriteErrors obs.Counter
+
+	// Distributed-execution counters (the internal/dist coordinator's
+	// lease lifecycle; see docs/service.md "Sharded execution").
+	leasesIssued    obs.Counter // first issues + re-issues
+	leasesReissued  obs.Counter
+	leasesCompleted obs.Counter
+	leasesDuplicate obs.Counter // late shards discarded by epoch
+	leasesRestored  obs.Counter // completed shards reused across restart
+	leaseFailures   obs.Counter // attempts ended by timeout/5xx/drop
+
 	// Simulation aggregates across every job run by this server.
 	trialsRun       obs.Counter
 	trialsConverged obs.Counter
@@ -181,6 +201,7 @@ func (s *Server) renderMetrics(w io.Writer) {
 	svc.AddRowf("job_wall_ms_mean", fmt.Sprintf("%.1f", jw.Mean))
 	svc.AddRowf("job_wall_ms_max", jw.Max)
 	svc.AddRowf("spans_emitted", m.spans.Value())
+	svc.AddRowf("stream_write_timeouts", m.streamWriteTimeouts.Value())
 	svc.Render(w)
 	fmt.Fprintln(w)
 
@@ -198,8 +219,22 @@ func (s *Server) renderMetrics(w io.Writer) {
 	st.AddRowf("buffer_spills", m.bufSpills.Value())
 	st.AddRowf("buffer_spilled_bytes", m.bufSpilledBytes.Value())
 	st.AddRowf("late_emits", m.lateEmits.Value())
+	st.AddRowf("store_write_errors", m.storeWriteErrors.Value())
 	st.Render(w)
 	fmt.Fprintln(w)
+
+	if len(s.peers) > 0 || m.leasesCompleted.Value() > 0 || m.leasesRestored.Value() > 0 {
+		dt := report.NewTable("distributed leases", "metric", "value")
+		dt.AddRowf("peers", len(s.peers))
+		dt.AddRowf("leases_issued", m.leasesIssued.Value())
+		dt.AddRowf("leases_reissued", m.leasesReissued.Value())
+		dt.AddRowf("leases_completed", m.leasesCompleted.Value())
+		dt.AddRowf("leases_duplicate", m.leasesDuplicate.Value())
+		dt.AddRowf("leases_restored", m.leasesRestored.Value())
+		dt.AddRowf("lease_failures", m.leaseFailures.Value())
+		dt.Render(w)
+		fmt.Fprintln(w)
+	}
 
 	states := report.NewTable("jobs by state", "state", "count")
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
@@ -262,20 +297,29 @@ func bucketString(s obs.HistogramSnapshot) string {
 	return strings.Join(parts, " ")
 }
 
+// Retry-After clamp bounds: an empty wall-time history answers the
+// floor, and a huge backlog of slow jobs cannot push the advice past
+// five minutes (clients should re-poll, not give up for the day).
+const (
+	minRetryAfterSec = 1
+	maxRetryAfterSec = 300
+)
+
 // retryAfterSec estimates when a rejected client should retry: the
 // mean job wall time scaled by the queue backlog per worker, clamped
-// to [1s, 600s]. With no completed jobs yet it answers 1.
+// to [minRetryAfterSec, maxRetryAfterSec]. With no completed jobs yet
+// it answers the floor.
 func (s *Server) retryAfterSec(depth int) int {
 	mean := s.met.jobWallMS.Mean() // ms
 	if mean <= 0 {
-		return 1
+		return minRetryAfterSec
 	}
 	est := int(mean*float64(depth+1)/float64(s.cfg.Workers)/1000.0) + 1
-	if est < 1 {
-		est = 1
+	if est < minRetryAfterSec {
+		est = minRetryAfterSec
 	}
-	if est > 600 {
-		est = 600
+	if est > maxRetryAfterSec {
+		est = maxRetryAfterSec
 	}
 	return est
 }

@@ -67,6 +67,16 @@ func (s *Server) renderPrometheus(w io.Writer) {
 	p.Counter("ppserved_buffer_spills_total", "Live result-buffer spills to the job store.", m.bufSpills.Value())
 	p.Counter("ppserved_buffer_spilled_bytes_total", "Bytes spilled from live result buffers to the job store.", m.bufSpilledBytes.Value())
 	p.Counter("ppserved_late_emits_total", "Records emitted into a result buffer after job finalization (worker bugs).", m.lateEmits.Value())
+	p.Counter("ppserved_store_write_errors_total", "Failed writes to the job store (spills, finalization, lease records).", m.storeWriteErrors.Value())
+	p.Counter("ppserved_stream_write_timeouts_total", "Result streams disconnected by the per-write deadline (stalled clients).", m.streamWriteTimeouts.Value())
+
+	p.Gauge("ppserved_dist_peers", "Configured peer ppserved nodes for sharded execution.", float64(len(s.peers)))
+	p.Counter("ppserved_dist_leases_issued_total", "Lease attempts issued to executors (first issues and re-issues).", m.leasesIssued.Value())
+	p.Counter("ppserved_dist_leases_reissued_total", "Lease re-issues after a failed attempt.", m.leasesReissued.Value())
+	p.Counter("ppserved_dist_leases_completed_total", "Leases whose shard was accepted and merged.", m.leasesCompleted.Value())
+	p.Counter("ppserved_dist_leases_duplicate_total", "Late duplicate shards discarded by lease epoch.", m.leasesDuplicate.Value())
+	p.Counter("ppserved_dist_leases_restored_total", "Completed shards restored from the store across a restart.", m.leasesRestored.Value())
+	p.Counter("ppserved_dist_lease_failures_total", "Lease attempts ended by timeout, error status or connection loss.", m.leaseFailures.Value())
 
 	p.Family("ppserved_jobs", "gauge", "Jobs currently known to the server, by lifecycle state.")
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {

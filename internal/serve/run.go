@@ -146,6 +146,9 @@ func (s *Server) execute(j *Job) error {
 		}
 		return s.runSim(j)
 	case KindBatch:
+		if s.distEligible(j) {
+			return s.runDistBatch(j)
+		}
 		if count {
 			return s.runCountBatch(j)
 		}
@@ -259,20 +262,62 @@ func (s *Server) runCountSim(j *Job) error {
 	return nil
 }
 
+// countTrialMaker builds the per-trial constructor for count-engine
+// batches: trialSeed = DeriveSeed(jobSeed, trial, 0), engine seed
+// trialSeed+1 (the scheduler-seed role). The trial index is the global
+// one, so the same maker serves full batches and shard ranges.
+func (s *Server) countTrialMaker(j *Job) func(trial int) sim.CountTrial {
+	sp := j.v.spec
+	pr := j.v.proto
+	return func(trial int) sim.CountTrial {
+		seed := sim.DeriveSeed(sp.Seed, trial, 0)
+		cc, _ := buildCountStart(pr, sp.N, sp.Init)
+		return sim.CountTrial{Cfg: cc, Seed: seed + 1, Sampler: sp.Sampler}
+	}
+}
+
+// batchTrialMaker builds the per-trial constructor for agent-engine
+// batches with the experiment harness's seed recipe: trialSeed =
+// DeriveSeed(jobSeed, trial, attempt), scheduler seed trialSeed+1,
+// injector seeded with trialSeed. Global trial indexes, like
+// countTrialMaker.
+func (s *Server) batchTrialMaker(j *Job) func(trial, attempt int) sim.Trial {
+	sp := j.v.spec
+	pr := j.v.proto
+	return func(trial, attempt int) sim.Trial {
+		seed := sim.DeriveSeed(sp.Seed, trial, attempt)
+		cfg, _ := buildConfig(pr, sp.N, sp.Init, seed)
+		sc, _ := buildScheduler(pr, sp.N, sp.Sched, seed+1)
+		t := sim.Trial{Cfg: cfg, Sched: sc}
+		if !j.v.plan.Empty() {
+			inj, _ := fault.NewInjector(j.v.plan, pr, seed)
+			t.Inject = inj
+		}
+		return t
+	}
+}
+
+// shardRange resolves the job's executed trial range: the whole batch,
+// or the spec's shard window for the peer side of a distributed job.
+func (j *Job) shardRange() (lo, hi int) {
+	sp := j.v.spec
+	if sp.Shard != nil {
+		return sp.Shard.Lo, sp.Shard.Hi
+	}
+	return 0, sp.Trials
+}
+
 // runCountBatch executes independent count-engine trials with the
-// batch seed recipe: trialSeed = DeriveSeed(jobSeed, trial, 0), engine
-// seed trialSeed+1 (the scheduler-seed role), so a seeded count batch
-// replays the equivalent direct sim.RunCountBatch call.
+// batch seed recipe (see countTrialMaker), so a seeded count batch
+// replays the equivalent direct sim.RunCountBatch call. A shard job
+// runs just its range; trial seeds derive from global indexes either
+// way, so the shard's records match the same trials of a full run.
 func (s *Server) runCountBatch(j *Job) error {
 	sp := j.v.spec
 	pr := j.v.proto
+	lo, hi := j.shardRange()
 	bo := sim.BatchObs{Sink: j.buf, ProgressEvery: sp.ProgressEvery}
-	sum := sim.RunCountBatch(j.ctx, pr, sp.Trials, sp.Budget, sp.Workers, bo,
-		func(trial int) sim.CountTrial {
-			seed := sim.DeriveSeed(sp.Seed, trial, 0)
-			cc, _ := buildCountStart(pr, sp.N, sp.Init)
-			return sim.CountTrial{Cfg: cc, Seed: seed + 1, Sampler: sp.Sampler}
-		})
+	sum := sim.RunCountBatchRange(j.ctx, pr, lo, hi, sp.Budget, sp.Workers, bo, s.countTrialMaker(j))
 	j.setSummary(&JobSummary{
 		Trials:          sum.Trials,
 		TrialsConverged: sum.Converged,
@@ -289,27 +334,17 @@ func (s *Server) runCountBatch(j *Job) error {
 }
 
 // runBatch executes a supervised batch with the experiment harness's
-// trial-seed recipe: trialSeed = DeriveSeed(jobSeed, trial, attempt),
-// scheduler seed trialSeed+1, injector seeded with trialSeed. A
-// seeded batch job therefore replays the equivalent direct
-// sim.RunBatchSupervised call record-for-record (the e2e test pins
-// this byte-for-byte modulo wall-clock fields).
+// trial-seed recipe (see batchTrialMaker). A seeded batch job
+// therefore replays the equivalent direct sim.RunBatchSupervised call
+// record-for-record (the e2e test pins this byte-for-byte modulo
+// wall-clock fields). A shard job runs just its range on the same
+// global seed recipe.
 func (s *Server) runBatch(j *Job) error {
 	sp := j.v.spec
 	pr := j.v.proto
+	lo, hi := j.shardRange()
 	bo := sim.BatchObs{Sink: j.buf, ProgressEvery: sp.ProgressEvery}
-	sum := sim.RunBatchSupervised(j.ctx, pr, sp.Trials, sp.Workers, j.supervision(), bo,
-		func(trial, attempt int) sim.Trial {
-			seed := sim.DeriveSeed(sp.Seed, trial, attempt)
-			cfg, _ := buildConfig(pr, sp.N, sp.Init, seed)
-			sc, _ := buildScheduler(pr, sp.N, sp.Sched, seed+1)
-			t := sim.Trial{Cfg: cfg, Sched: sc}
-			if !j.v.plan.Empty() {
-				inj, _ := fault.NewInjector(j.v.plan, pr, seed)
-				t.Inject = inj
-			}
-			return t
-		})
+	sum := sim.RunBatchRangeSupervised(j.ctx, pr, lo, hi, sp.Workers, j.supervision(), bo, s.batchTrialMaker(j))
 	j.setSummary(&JobSummary{
 		Trials:          sum.Trials,
 		TrialsConverged: sum.Converged,

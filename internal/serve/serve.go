@@ -29,13 +29,17 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"popnaming/internal/dist"
 	"popnaming/internal/obs"
 	"popnaming/internal/serve/store"
 )
@@ -74,12 +78,38 @@ type Config struct {
 	// them back on demand (0: 8 MiB; negative: no cap — every line
 	// stays resident until finalization, and finalized jobs still spill).
 	BufferBytes int64
+	// Peers lists base URLs of peer ppserved nodes (e.g.
+	// "http://10.0.0.2:8080"). When non-empty, untraced batch jobs are
+	// split into per-lease trial ranges executed across the peers and
+	// the local node (see internal/dist and docs/service.md "Sharded
+	// execution"). Empty: every job runs locally, the pre-dist behavior.
+	Peers []string
+	// LeaseTrials is the number of trials per lease when sharding
+	// (0: 64). A batch smaller than one lease runs as a single lease.
+	LeaseTrials int
+	// LeaseTimeout caps one lease attempt on a peer. It is also the
+	// ceiling for the adaptive deadline derived from the observed
+	// per-kind execution histogram (0: 2m).
+	LeaseTimeout time.Duration
+	// DistRetries bounds per-lease re-issues to peers before the lease
+	// is pinned to local execution (0: 3; negative: no peer retries —
+	// first failure falls back to local).
+	DistRetries int
+	// StreamWriteTimeout bounds each write on a results stream: a
+	// client that stops reading for this long is disconnected instead
+	// of pinning a handler goroutine and its buffers forever
+	// (0: 60s; negative: no deadline).
+	StreamWriteTimeout time.Duration
 }
 
 // Sizing defaults for Config's zero values.
 const (
-	defaultCacheBytes  = 64 << 20
-	defaultBufferBytes = 8 << 20
+	defaultCacheBytes         = 64 << 20
+	defaultBufferBytes        = 8 << 20
+	defaultLeaseTrials        = 64
+	defaultLeaseTimeout       = 2 * time.Minute
+	defaultDistRetries        = 3
+	defaultStreamWriteTimeout = 60 * time.Second
 )
 
 // Server is the simulation service: a handler, a bounded FIFO job
@@ -94,6 +124,10 @@ type Server struct {
 	cache *resultCache
 	// bufMax is the resolved per-job live-buffer cap (<= 0: uncapped).
 	bufMax int64
+	// peers are the long-lived shard executors for Config.Peers, one
+	// per base URL; they persist health state (failure windows,
+	// quarantine) across jobs. Empty when the server runs standalone.
+	peers []*dist.Peer
 
 	// baseCtx parents every job context; baseCancel is the
 	// drain-escalation switch that aborts all in-flight work.
@@ -148,6 +182,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Sink == nil {
 		cfg.Sink = obs.Discard
 	}
+	if cfg.LeaseTrials <= 0 {
+		cfg.LeaseTrials = defaultLeaseTrials
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = defaultLeaseTimeout
+	}
+	if cfg.DistRetries == 0 {
+		cfg.DistRetries = defaultDistRetries
+	} else if cfg.DistRetries < 0 {
+		cfg.DistRetries = 0
+	}
+	if cfg.StreamWriteTimeout == 0 {
+		cfg.StreamWriteTimeout = defaultStreamWriteTimeout
+	}
 	if cfg.Store == nil {
 		cfg.Store = store.NewMemory()
 	}
@@ -168,6 +216,13 @@ func New(cfg Config) (*Server, error) {
 		cache:  newResultCache(cacheBytes),
 		bufMax: bufMax,
 		jobs:   make(map[string]*Job),
+	}
+	for _, base := range cfg.Peers {
+		base = strings.TrimRight(strings.TrimSpace(base), "/")
+		if base == "" {
+			continue
+		}
+		s.peers = append(s.peers, &dist.Peer{Base: base})
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	requeue, err := s.restore()
@@ -248,6 +303,10 @@ func (s *Server) restore() ([]*Job, error) {
 		}
 		_ = s.store.SetState(snap.ID, store.StateQueued)
 		j := s.newJob(snap.ID, v, true)
+		// Completed lease shards survive the reset (they live beside the
+		// result log); the dist coordinator restores them instead of
+		// re-executing.
+		j.restoredLeases = snap.Leases
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j)
 		s.met.requeued.Inc()
@@ -333,6 +392,7 @@ func (s *Server) newJobBuffer(id string) *buffer {
 				n += int64(len(line))
 			}
 			if err := s.store.AppendResults(id, lines); err != nil {
+				s.met.storeWriteErrors.Inc()
 				return err
 			}
 			s.met.bufSpills.Inc()
@@ -489,6 +549,12 @@ func (s *Server) runJob(j *Job) {
 		}()
 		if err := s.execute(j); err != nil {
 			j.fail(err.Error())
+		} else if serr := j.buf.storeFailure(); serr != nil {
+			// Workload sinks swallow per-emit errors, so a spill that
+			// failed mid-run (disk full, write error) surfaces here: the
+			// job fails with the store detail instead of finishing "done"
+			// with records silently stuck in RAM.
+			j.fail(fmt.Sprintf("store: %v", serr))
 		}
 	}()
 	j.mu.Lock()
@@ -562,11 +628,13 @@ func (s *Server) finalize(j *Job) {
 		}
 	}
 	total := j.buf.len()
-	_ = j.buf.finalize()
-	_ = s.store.Finalize(j.ID, store.Final{
+	_ = j.buf.finalize() // a failed final spill already counted via the spill hook
+	if err := s.store.Finalize(j.ID, store.Final{
 		State: storeState(state), Error: rec.Error, Summary: summary,
 		Cached: j.cached, WallNS: wall, ResultLines: total,
-	})
+	}); err != nil {
+		s.met.storeWriteErrors.Inc()
+	}
 	j.mu.Unlock()
 	_ = s.sink.Emit(rec)
 	j.cancel()
@@ -715,6 +783,20 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
+	// Slow-client guard: every batch of writes runs under a fresh write
+	// deadline, so a client that stops reading (a stalled follower with
+	// a full TCP window) is disconnected instead of pinning this
+	// goroutine and the job's buffers for the rest of the process.
+	// Recorders and writers without deadline support just decline the
+	// controller calls — the guard degrades to the old behavior.
+	rc := http.NewResponseController(w)
+	deadline := s.cfg.StreamWriteTimeout
+	defer func() {
+		if deadline > 0 {
+			_ = rc.SetWriteDeadline(time.Time{}) // clean slate for keep-alive reuse
+		}
+	}()
+
 	// Wake the condition wait when the client goes away, so a
 	// disconnected follower releases its goroutine promptly.
 	stop := context.AfterFunc(r.Context(), j.buf.wake)
@@ -732,8 +814,14 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			// do is stop cleanly.
 			return
 		}
+		if deadline > 0 && len(lines) > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(deadline))
+		}
 		for _, line := range lines {
 			if _, err := w.Write(line); err != nil {
+				if errors.Is(err, os.ErrDeadlineExceeded) {
+					s.met.streamWriteTimeouts.Inc()
+				}
 				return
 			}
 		}

@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -17,6 +18,7 @@ type Memory struct {
 	snaps   map[string]*Snapshot
 	order   []string
 	results map[string][][]byte
+	shards  map[string]map[int][][]byte
 }
 
 // NewMemory builds an empty in-memory store.
@@ -24,6 +26,7 @@ func NewMemory() *Memory {
 	return &Memory{
 		snaps:   make(map[string]*Snapshot),
 		results: make(map[string][][]byte),
+		shards:  make(map[string]map[int][][]byte),
 	}
 }
 
@@ -76,6 +79,52 @@ func (m *Memory) Finalize(id string, fin Final) error {
 	return nil
 }
 
+// PutLease records a lease transition, folding like the WAL: latest
+// record per lease index wins, completed is sticky.
+func (m *Memory) PutLease(id string, l LeaseSnap) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.snaps[id]
+	if !ok {
+		return nil
+	}
+	for i := range s.Leases {
+		if s.Leases[i].Idx == l.Idx {
+			if s.Leases[i].State != LeaseCompleted {
+				s.Leases[i] = l
+			}
+			return nil
+		}
+	}
+	s.Leases = append(s.Leases, l)
+	sort.Slice(s.Leases, func(a, b int) bool { return s.Leases[a].Idx < s.Leases[b].Idx })
+	return nil
+}
+
+// PutShard replaces the lease's shard log.
+func (m *Memory) PutShard(id string, lease int, lines [][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sm := m.shards[id]
+	if sm == nil {
+		sm = make(map[int][][]byte)
+		m.shards[id] = sm
+	}
+	sm[lease] = append([][]byte(nil), lines...)
+	return nil
+}
+
+// ReadShard returns exactly n lines of the lease's shard log.
+func (m *Memory) ReadShard(id string, lease, n int) ([][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lines := m.shards[id][lease]
+	if len(lines) < n {
+		return nil, fmt.Errorf("store: shard %s/%d: want %d lines, have %d", id, lease, n, len(lines))
+	}
+	return lines[:n], nil
+}
+
 // AppendResults appends finalized or spilled NDJSON lines (each with
 // its trailing newline) to the job's result log.
 func (m *Memory) AppendResults(id string, lines [][]byte) error {
@@ -115,7 +164,9 @@ func (m *Memory) Replay() ([]Snapshot, error) {
 	defer m.mu.Unlock()
 	snaps := make([]Snapshot, 0, len(m.order))
 	for _, id := range m.order {
-		snaps = append(snaps, *m.snaps[id])
+		s := *m.snaps[id]
+		s.Leases = append([]LeaseSnap(nil), s.Leases...)
+		snaps = append(snaps, s)
 	}
 	return snaps, nil
 }

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"strconv"
 )
 
@@ -34,6 +35,18 @@ const (
 	// carry the outcome (error, summary, cached flag, result line
 	// count).
 	RecState = "state"
+	// RecLease records a lease transition of a distributed batch job
+	// (see internal/dist): the coordinator persists issued/completed
+	// lease state so a crash-restart re-issues only incomplete leases.
+	RecLease = "lease"
+)
+
+// Lease states as stored. Only LeaseCompleted matters for recovery
+// (anything else is incomplete and gets re-issued); completed is
+// sticky under Fold, mirroring at-most-once result acceptance.
+const (
+	LeaseIssued    = "issued"
+	LeaseCompleted = "completed"
 )
 
 // Job lifecycle states as stored. They mirror serve.JobState but the
@@ -69,6 +82,22 @@ type Rec struct {
 	Cached      bool            `json:"cached,omitempty"`
 	WallNS      int64           `json:"wallNs,omitempty"`
 	ResultLines int             `json:"resultLines,omitempty"`
+
+	Lease *LeaseSnap `json:"lease,omitempty"`
+}
+
+// LeaseSnap is one lease's durable state: the contiguous trial range
+// [Lo, Hi) it covers, its issue epoch, and — when completed — the line
+// count of its shard log (results/<id>.shard<idx>.ndjson under the
+// WAL), which recovery uses to tell a complete shard from a torn one.
+type LeaseSnap struct {
+	Idx   int    `json:"idx"`
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+	Epoch int    `json:"epoch"`
+	State string `json:"state"`
+	Peer  string `json:"peer,omitempty"`
+	Lines int    `json:"lines,omitempty"`
 }
 
 // Final describes a job's terminal transition as handed to
@@ -96,6 +125,10 @@ type Snapshot struct {
 	Cached      bool
 	WallNS      int64
 	ResultLines int
+	// Leases holds the folded lease states of a distributed batch job
+	// in lease-index order (latest record per index wins, completed
+	// sticky). Empty for jobs that never ran distributed.
+	Leases []LeaseSnap
 }
 
 // EncodeRec frames a record as one WAL line: an 8-hex-digit CRC32
@@ -144,6 +177,7 @@ func DecodeRec(line []byte) (Rec, error) {
 // cancel in the crash window) cannot change it.
 func Fold(recs []Rec) []Snapshot {
 	idx := make(map[string]int)
+	lidx := make(map[string]map[int]int) // job -> lease idx -> position in Leases
 	var snaps []Snapshot
 	for _, r := range recs {
 		switch r.T {
@@ -169,7 +203,33 @@ func Fold(recs []Rec) []Snapshot {
 				s.WallNS = r.WallNS
 				s.ResultLines = r.ResultLines
 			}
+		case RecLease:
+			i, ok := idx[r.ID]
+			if !ok || r.Lease == nil {
+				continue
+			}
+			s := &snaps[i]
+			lm := lidx[r.ID]
+			if lm == nil {
+				lm = make(map[int]int)
+				lidx[r.ID] = lm
+			}
+			p, ok := lm[r.Lease.Idx]
+			if !ok {
+				lm[r.Lease.Idx] = len(s.Leases)
+				s.Leases = append(s.Leases, *r.Lease)
+				continue
+			}
+			if s.Leases[p].State == LeaseCompleted {
+				continue // completed is sticky: at-most-once acceptance
+			}
+			s.Leases[p] = *r.Lease
 		}
+	}
+	for i := range snaps {
+		sort.Slice(snaps[i].Leases, func(a, b int) bool {
+			return snaps[i].Leases[a].Idx < snaps[i].Leases[b].Idx
+		})
 	}
 	return snaps
 }

@@ -38,6 +38,14 @@ type WAL struct {
 	seq   uint64
 	snaps []Snapshot
 	open  map[string]*os.File // result-log appenders for live jobs
+
+	// out and sync are the append and fsync paths for the WAL file,
+	// defaulting to f. Tests swap them to inject short writes and
+	// fsync failures (see TestWALAppendError / TestWALSyncError); the
+	// indirection pins that a failing disk surfaces as a structured
+	// error instead of silently losing records.
+	out  io.Writer
+	sync func() error
 }
 
 // OpenWAL opens (or creates) a WAL store in dir, replaying the
@@ -62,6 +70,8 @@ func OpenWAL(dir string) (*WAL, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	w := &WAL{dir: dir, f: f, snaps: Fold(recs), open: make(map[string]*os.File)}
+	w.out = f
+	w.sync = f.Sync
 	if n := len(recs); n > 0 {
 		w.seq = recs[n-1].Seq
 	}
@@ -111,8 +121,12 @@ func (w *WAL) appendLocked(r Rec) error {
 	if err != nil {
 		return err
 	}
-	if _, err := w.f.Write(line); err != nil {
+	n, err := w.out.Write(line)
+	if err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if n < len(line) {
+		return fmt.Errorf("store: wal append: short write (%d of %d bytes)", n, len(line))
 	}
 	return nil
 }
@@ -157,7 +171,79 @@ func (w *WAL) Finalize(id string, fin Final) error {
 	}); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	return nil
+}
+
+// PutLease records a lease transition of a distributed batch job. The
+// record is written with plain write(2) like other WAL appends: a
+// power loss can cost the tail, which recovery answers by re-issuing
+// any lease not folded as completed.
+func (w *WAL) PutLease(id string, l LeaseSnap) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(Rec{T: RecLease, ID: id, Lease: &l})
+}
+
+// PutShard replaces the lease's shard log with the given NDJSON lines
+// (each with its trailing newline) and fsyncs it, so a subsequent
+// completed lease record implies a readable shard. The write truncates:
+// a re-issued lease after a crash overwrites any stale partial shard.
+func (w *WAL) PutShard(id string, lease int, lines [][]byte) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.shardPath(id, lease), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var buf bytes.Buffer
+	for _, line := range lines {
+		buf.Write(line)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("store: shard write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: shard sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: shard close: %w", err)
+	}
+	return nil
+}
+
+// ReadShard returns exactly n lines of the lease's shard log. Fewer
+// intact lines than recorded in the completed lease record mean the
+// shard is torn — callers treat that as incomplete and re-issue.
+func (w *WAL) ReadShard(id string, lease, n int) ([][]byte, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(w.shardPath(id, lease))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var lines [][]byte
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn final line: drop it
+		}
+		lines = append(lines, data[off:off+nl+1])
+		off += nl + 1
+	}
+	if len(lines) < n {
+		return nil, fmt.Errorf("store: shard %s/%d: want %d lines, have %d", id, lease, n, len(lines))
+	}
+	return lines[:n], nil
 }
 
 // AppendResults appends NDJSON lines (each with its trailing newline)
@@ -260,7 +346,7 @@ func (w *WAL) Close() error {
 		rf.Sync()
 		rf.Close()
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.sync(); err != nil {
 		w.f.Close()
 		return fmt.Errorf("store: %w", err)
 	}
@@ -269,6 +355,10 @@ func (w *WAL) Close() error {
 
 func (w *WAL) resultPath(id string) string {
 	return filepath.Join(w.dir, resultsDir, id+".ndjson")
+}
+
+func (w *WAL) shardPath(id string, lease int) string {
+	return filepath.Join(w.dir, resultsDir, fmt.Sprintf("%s.shard%d.ndjson", id, lease))
 }
 
 // validID rejects IDs that could escape the results directory. Server

@@ -137,8 +137,25 @@ func RunBatchObserved(pr core.Protocol, trials, budget, workers int, bo BatchObs
 // without running, and in-flight trials abort at their next slice
 // boundary with partial results. A nil ctx is context.Background().
 func RunBatchSupervised(ctx context.Context, pr core.Protocol, trials, workers int, sup Supervision, bo BatchObs, mkTrial func(trial, attempt int) Trial) BatchSummary {
+	return RunBatchRangeSupervised(ctx, pr, 0, trials, workers, sup, bo, mkTrial)
+}
+
+// RunBatchRangeSupervised runs the contiguous trial range [lo, hi) of a
+// logical batch. Every trial index that escapes — mkTrial arguments,
+// result tags, progress/summary records, injector tags, span names —
+// is the global index, so a shard's records are byte-identical to the
+// same trials' records in a full run (trial seeds derive from the
+// global index via DeriveSeed). The summary describes just the range:
+// Trials = hi-lo, with Results indexed by offset from lo. This is the
+// execution half of the dist shard protocol (see internal/dist);
+// RunBatchSupervised is the lo=0, hi=trials special case.
+func RunBatchRangeSupervised(ctx context.Context, pr core.Protocol, lo, hi, workers int, sup Supervision, bo BatchObs, mkTrial func(trial, attempt int) Trial) BatchSummary {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	trials := hi - lo
+	if trials < 0 {
+		trials = 0
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -170,26 +187,27 @@ func RunBatchSupervised(ctx context.Context, pr core.Protocol, trials, workers i
 			defer wg.Done()
 			for {
 				mu.Lock()
-				i := next
+				off := next
 				next++
 				mu.Unlock()
-				if i >= trials {
+				if off >= trials {
 					return
 				}
+				i := lo + off
 				// Graceful degradation: past the batch deadline (or
 				// after an interrupt) the remaining trials are tagged
 				// instead of run, so the batch returns promptly with
 				// partial results.
 				if ctx.Err() != nil {
-					out[i] = BatchResult{Trial: i, Status: TrialAborted, Reason: "canceled"}
+					out[off] = BatchResult{Trial: i, Status: TrialAborted, Reason: "canceled"}
 					continue
 				}
 				if sup.Interrupt != nil && sup.Interrupt() {
-					out[i] = BatchResult{Trial: i, Status: TrialAborted, Reason: "interrupt"}
+					out[off] = BatchResult{Trial: i, Status: TrialAborted, Reason: "interrupt"}
 					continue
 				}
 				if !deadlineAt.IsZero() && !time.Now().Before(deadlineAt) {
-					out[i] = BatchResult{Trial: i, Status: TrialAborted, Reason: "deadline"}
+					out[off] = BatchResult{Trial: i, Status: TrialAborted, Reason: "deadline"}
 					continue
 				}
 				t0 := time.Now()
@@ -237,7 +255,7 @@ func RunBatchSupervised(ctx context.Context, pr core.Protocol, trials, workers i
 					}
 					tspan.End()
 				}
-				out[i] = BatchResult{Trial: i, Result: sr.Result, Status: sr.Status, Attempts: sr.Attempts, Reason: sr.Reason}
+				out[off] = BatchResult{Trial: i, Result: sr.Result, Status: sr.Status, Attempts: sr.Attempts, Reason: sr.Reason}
 				busy[w] += time.Since(t0).Nanoseconds()
 			}
 		}(w)

@@ -674,8 +674,21 @@ func (s *CountBatchSummary) Record() obs.BatchSummaryRec {
 // trial-tagged observer (progress + census records) and the batch
 // closes with the merged batch_summary record.
 func RunCountBatch(ctx context.Context, pr core.Protocol, trials, budget, workers int, bo BatchObs, mkTrial func(trial int) CountTrial) CountBatchSummary {
+	return RunCountBatchRange(ctx, pr, 0, trials, budget, workers, bo, mkTrial)
+}
+
+// RunCountBatchRange runs the contiguous trial range [lo, hi) of a
+// logical count batch. As with RunBatchRangeSupervised, every index
+// that escapes (mkTrial argument, result and record tags) is the
+// global trial index, so shard records are byte-identical to the same
+// trials in a full run; the summary describes just the range.
+func RunCountBatchRange(ctx context.Context, pr core.Protocol, lo, hi, budget, workers int, bo BatchObs, mkTrial func(trial int) CountTrial) CountBatchSummary {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	trials := hi - lo
+	if trials < 0 {
+		trials = 0
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -696,21 +709,22 @@ func RunCountBatch(ctx context.Context, pr core.Protocol, trials, budget, worker
 			defer wg.Done()
 			for {
 				mu.Lock()
-				i := next
+				off := next
 				next++
 				mu.Unlock()
-				if i >= trials {
+				if off >= trials {
 					return
 				}
+				i := lo + off
 				if ctx.Err() != nil {
-					out[i] = CountBatchResult{Trial: i, Aborted: true}
+					out[off] = CountBatchResult{Trial: i, Aborted: true}
 					continue
 				}
 				t0 := time.Now()
 				t := mkTrial(i)
 				run, err := NewCountRunner(pr, t.Cfg, t.Seed)
 				if err != nil {
-					out[i] = CountBatchResult{Trial: i, Err: err}
+					out[off] = CountBatchResult{Trial: i, Err: err}
 					continue
 				}
 				run.Sampler = t.Sampler
@@ -724,7 +738,7 @@ func RunCountBatch(ctx context.Context, pr core.Protocol, trials, budget, worker
 					})
 				}
 				res, err := run.Run(budget)
-				out[i] = CountBatchResult{Trial: i, Result: res, Err: err}
+				out[off] = CountBatchResult{Trial: i, Result: res, Err: err}
 				busy[w] += time.Since(t0).Nanoseconds()
 			}
 		}(w)
