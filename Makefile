@@ -41,10 +41,15 @@ STORE_BENCH = BenchmarkWALAppend|BenchmarkWALFinalize|BenchmarkWALReplay|Benchma
 # execution").
 DIST_BENCH = BenchmarkDistSharded|BenchmarkDistDegraded
 
-.PHONY: check vet build test race race-search race-fault race-serve race-count race-store race-dist fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve bench-trace bench-count bench-store bench-dist serve
+# Campaign-pipeline benchmarks gating the ppanalyze throughput claims:
+# cells/sec through the in-process runner, over the v1 job API, and on
+# an all-cache-hit second pass (see docs/pipeline.md).
+GRID_BENCH = BenchmarkGridLocal|BenchmarkGridServer|BenchmarkGridServerCached
+
+.PHONY: check vet build test race race-search race-fault race-serve race-count race-store race-dist race-grid fmt fuzzbuild bench bench-engine bench-search bench-fault bench-serve bench-trace bench-count bench-store bench-dist bench-grid serve
 
 # check is the single entry point: everything CI (or a reviewer) needs.
-check: vet build race race-search race-fault race-serve race-count race-store race-dist fmt fuzzbuild
+check: vet build race race-search race-fault race-serve race-count race-store race-dist race-grid fmt fuzzbuild
 
 vet:
 	$(GO) vet ./...
@@ -98,6 +103,13 @@ race-store:
 race-dist:
 	$(GO) test -race -count=1 ./internal/dist
 	$(GO) test -race -count=1 -run 'TestDist' ./internal/serve
+
+# race-grid re-runs the campaign pipeline under the race detector with
+# caching disabled: campaigns fan cells out across worker goroutines
+# that share the spec, the result accumulator and (in server mode) one
+# peer's health window.
+race-grid:
+	$(GO) test -race -count=1 ./internal/grid ./cmd/ppanalyze
 
 # serve runs the simulation service locally on :8080.
 serve:
@@ -174,3 +186,10 @@ bench-store:
 bench-dist:
 	$(GO) test -json -run='^$$' -bench='$(DIST_BENCH)' -benchmem -count=3 ./internal/serve > BENCH_PR9.json
 	@echo "wrote BENCH_PR9.json ($$(wc -l < BENCH_PR9.json) events)"
+
+# bench-grid runs the campaign-pipeline benchmarks (local vs server vs
+# cache-hit cells/sec on a fixed 4-cell grid) and writes the go-test
+# JSON stream to BENCH_PR10.json.
+bench-grid:
+	$(GO) test -json -run='^$$' -bench='$(GRID_BENCH)' -benchmem -count=3 ./internal/grid > BENCH_PR10.json
+	@echo "wrote BENCH_PR10.json ($$(wc -l < BENCH_PR10.json) events)"

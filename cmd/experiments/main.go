@@ -55,6 +55,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -87,6 +88,21 @@ type results struct {
 	CountDiff     []experiments.CountDiffPoint     `json:"countDifferential,omitempty"`
 	CountScale    *experiments.CountScaleResult    `json:"countScale,omitempty"`
 	Timings       []obs.ExperimentRec              `json:"timings,omitempty"`
+}
+
+// listSuite renders the suite registry: one row per experiment with
+// its DESIGN.md tag, CLI selector, compatible engines and description.
+func listSuite(w io.Writer) {
+	tab := report.NewTable("experiment suite (run with: experiments <key>)",
+		"tag", "key", "engines", "description")
+	for _, e := range experiments.Suite() {
+		engines := "agent"
+		if experiments.CountCompatible(e.Key) {
+			engines = "agent, count"
+		}
+		tab.AddRow(e.Tag, e.Key, engines, e.Description)
+	}
+	tab.Render(w)
 }
 
 // engineSelectionError rejects engine/experiment combinations at
@@ -177,8 +193,14 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "wall-clock deadline per stabilize batch (0: none)")
 		retries  = flag.Int("retries", 0, "stall-retry allowance per stabilize trial")
 		engine   = flag.String("engine", "agent", "execution engine: agent | count (count restricts the suite to count-compatible experiments)")
+		list     = flag.Bool("list", false, "list the experiment suite (tag, selector, engines, description) and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listSuite(os.Stdout)
+		return
+	}
 
 	var faultPlan *fault.Plan
 	if *faults != "" {

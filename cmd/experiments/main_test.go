@@ -48,3 +48,26 @@ func TestEngineSelectionCoversSuite(t *testing.T) {
 		}
 	}
 }
+
+// TestListSuite pins the -list output: every registry entry appears
+// with its tag and engine compatibility, and only the two
+// count-compatible experiments advertise the count engine.
+func TestListSuite(t *testing.T) {
+	var b strings.Builder
+	listSuite(&b)
+	out := b.String()
+	countRows := 0
+	for _, e := range experiments.Suite() {
+		if !strings.Contains(out, e.Key) || !strings.Contains(out, e.Tag) || !strings.Contains(out, e.Description) {
+			t.Errorf("entry %s (%s) missing from listing:\n%s", e.Key, e.Tag, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "agent, count") {
+			countRows++
+		}
+	}
+	if countRows != 2 {
+		t.Errorf("%d rows advertise the count engine, want 2 (countdiff, countscale)", countRows)
+	}
+}

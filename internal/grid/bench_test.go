@@ -1,0 +1,110 @@
+package grid
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"popnaming/internal/serve"
+)
+
+// benchSpec is a small fixed grid (4 cells) so the three execution
+// paths are directly comparable in cells/sec.
+const benchSpec = `{
+	"name":"bench",
+	"protocols":["asym","selfstab"],
+	"populations":[{"p":6,"n":4},{"p":6,"n":6}],
+	"trials":4,"budget":300000,"seed":13}`
+
+func benchCells(b *testing.B, runner CellRunner) {
+	sp, err := Parse(strings.NewReader(benchSpec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := sp.Cells()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cells {
+			if err := runner.RunCell(context.Background(), sp, c, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(cells)*b.N)/b.Elapsed().Seconds(), "cells/sec")
+}
+
+// BenchmarkGridLocal runs the grid through the in-process runner.
+func BenchmarkGridLocal(b *testing.B) {
+	benchCells(b, LocalRunner{})
+}
+
+func benchServer(b *testing.B) *ServerRunner {
+	s, err := serve.New(serve.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	b.Cleanup(s.Close)
+	sr := NewServerRunner(ts.URL)
+	sr.Backoff = time.Millisecond
+	return sr
+}
+
+// BenchmarkGridServer runs the grid over the v1 job API against an
+// in-process ppserved with a cold cache per iteration — unreachable in
+// practice (the cache has no per-job eviction), so the seed varies per
+// iteration to force real simulation.
+func BenchmarkGridServer(b *testing.B) {
+	sr := benchServer(b)
+	sp, err := Parse(strings.NewReader(benchSpec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		// A fresh master seed per iteration reshuffles every cell
+		// seed, so no submission can hit the cache.
+		sp.Seed = int64(1000 + i)
+		for _, c := range sp.Cells() {
+			if err := sr.RunCell(context.Background(), sp, c, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "cells/sec")
+}
+
+// BenchmarkGridServerCached re-runs an unchanged grid: after a warmup
+// pass every submission is answered from the node's content-addressed
+// result cache.
+func BenchmarkGridServerCached(b *testing.B) {
+	sr := benchServer(b)
+	sp, err := Parse(strings.NewReader(benchSpec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := sp.Cells()
+	for _, c := range cells {
+		if err := sr.RunCell(context.Background(), sp, c, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cells {
+			if err := sr.RunCell(context.Background(), sp, c, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(cells)*b.N)/b.Elapsed().Seconds(), "cells/sec")
+}

@@ -1,0 +1,243 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Campaign executes a grid spec into an output directory:
+// out/journals/<cell>.jsonl per cell, then the reduced artifacts
+// out/summary.{csv,txt,tex} and out/plots/<cell>.{txt,svg}.
+type Campaign struct {
+	Spec   *Spec
+	Runner CellRunner
+	// Out is the campaign directory; created if absent.
+	Out string
+	// Workers bounds concurrently running cells (default 1 — cells
+	// are internally sequential for determinism, so campaign-level
+	// fan-out is the parallelism knob).
+	Workers int
+	// Resume skips cells whose journal is already complete (intact
+	// tail, matching seed, full batch summary) instead of re-running
+	// them; incomplete or torn journals re-run.
+	Resume bool
+	// Log, when non-nil, receives one progress line per cell.
+	Log io.Writer
+}
+
+// CellError pairs a failed cell with its error.
+type CellError struct {
+	Cell Cell
+	Err  error
+}
+
+// Result reports a campaign execution.
+type Result struct {
+	Cells   []Cell
+	Ran     int
+	Skipped int
+	Failed  []CellError
+	Stats   []CellStats
+}
+
+// JournalPath is the cell's journal location under the campaign
+// directory.
+func (cp *Campaign) JournalPath(c Cell) string {
+	return filepath.Join(cp.Out, "journals", c.ID()+".jsonl")
+}
+
+func (cp *Campaign) logf(format string, args ...any) {
+	if cp.Log != nil {
+		fmt.Fprintf(cp.Log, format+"\n", args...)
+	}
+}
+
+// Execute runs every cell (respecting Resume), reduces the journals
+// and writes the artifacts. Cell failures don't stop the campaign:
+// remaining cells run, the failures come back in Result.Failed, and
+// reduction covers the successful cells only — err is reserved for
+// campaign-level failures (bad spec, unwritable directory).
+func (cp *Campaign) Execute(ctx context.Context) (*Result, error) {
+	if err := cp.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(cp.Out, "journals"), 0o755); err != nil {
+		return nil, err
+	}
+	cells := cp.Spec.Cells()
+	res := &Result{Cells: cells}
+	workers := cp.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		next int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(cells) {
+					return
+				}
+				c := cells[i]
+				ran, err := cp.runOne(ctx, c)
+				mu.Lock()
+				switch {
+				case err != nil:
+					res.Failed = append(res.Failed, CellError{Cell: c, Err: err})
+					cp.logf("cell %s: FAILED: %v", c.ID(), err)
+				case ran:
+					res.Ran++
+					cp.logf("cell %s: done", c.ID())
+				default:
+					res.Skipped++
+					cp.logf("cell %s: resumed (journal complete)", c.ID())
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Slice(res.Failed, func(i, j int) bool {
+		return res.Failed[i].Cell.Index < res.Failed[j].Cell.Index
+	})
+	failed := make(map[int]bool, len(res.Failed))
+	for _, f := range res.Failed {
+		failed[f.Cell.Index] = true
+	}
+	ok := cells[:0:0]
+	for _, c := range cells {
+		if !failed[c.Index] {
+			ok = append(ok, c)
+		}
+	}
+	stats, err := Reduce(cp.Spec, ok, func(c Cell) (io.ReadCloser, error) {
+		return os.Open(cp.JournalPath(c))
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Stats = stats
+	if err := cp.writeArtifacts(stats); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runOne executes one cell into its journal path, atomically: the
+// journal is written to a temp file and renamed into place only after
+// the runner finishes cleanly, so a crashed or failed cell never
+// leaves a plausible-looking journal behind (at worst a *.tmp).
+func (cp *Campaign) runOne(ctx context.Context, c Cell) (ran bool, err error) {
+	path := cp.JournalPath(c)
+	if cp.Resume && cp.journalComplete(c, path) {
+		return false, nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return false, err
+	}
+	runErr := cp.Runner.RunCell(ctx, cp.Spec, c, f)
+	closeErr := f.Close()
+	if runErr == nil {
+		runErr = closeErr
+	}
+	if runErr != nil {
+		os.Remove(tmp)
+		return false, runErr
+	}
+	return true, os.Rename(tmp, path)
+}
+
+// journalComplete reports whether the cell's journal on disk is a
+// finished run of this exact cell: readable, untorn, header seed
+// matching the cell's derived seed (a spec edit that reshuffles seeds
+// invalidates stale journals), and a batch summary covering every
+// trial.
+func (cp *Campaign) journalComplete(c Cell, path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	cs, err := reduceCell(c, f)
+	if err != nil || cs.Torn {
+		return false
+	}
+	return cs.Trials == cp.Spec.Trials
+}
+
+// writeArtifacts renders the reduced campaign: summary table in text,
+// CSV and LaTeX, plus one convergence-CDF plot per cell in ASCII and
+// SVG. All emitters are wall-clock free, so re-rendering the same
+// journals is byte-stable.
+func (cp *Campaign) writeArtifacts(stats []CellStats) error {
+	if err := os.MkdirAll(filepath.Join(cp.Out, "plots"), 0o755); err != nil {
+		return err
+	}
+	tab := SummaryTable(cp.Spec, stats)
+	if err := writeFileWith(filepath.Join(cp.Out, "summary.txt"), func(w io.Writer) error {
+		tab.Render(w)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := writeFileWith(filepath.Join(cp.Out, "summary.csv"), tab.RenderCSV); err != nil {
+		return err
+	}
+	if err := writeFileWith(filepath.Join(cp.Out, "summary.tex"), tab.RenderLaTeX); err != nil {
+		return err
+	}
+	for _, cs := range stats {
+		cdf := ConvergenceCDF(cs)
+		id := cs.Cell.ID()
+		if err := writeFileWith(filepath.Join(cp.Out, "plots", id+".txt"), func(w io.Writer) error {
+			cdf.RenderASCII(w, 72, 20)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := writeFileWith(filepath.Join(cp.Out, "plots", id+".svg"), func(w io.Writer) error {
+			return cdf.RenderSVG(w, 640, 400)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFileWith renders into path atomically (temp + rename).
+func writeFileWith(path string, render func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	rerr := render(f)
+	cerr := f.Close()
+	if rerr == nil {
+		rerr = cerr
+	}
+	if rerr != nil {
+		os.Remove(tmp)
+		return rerr
+	}
+	return os.Rename(tmp, path)
+}

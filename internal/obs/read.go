@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+)
+
+// Rec is one decoded v1 journal record. Type carries the record's
+// "type" field and Raw the record's JSON bytes (newline-trimmed); for
+// the known record types exactly one of the typed pointers is non-nil.
+// Records of unknown type — service envelopes, future additions — are
+// delivered with Raw only, so readers stay forward-compatible.
+type Rec struct {
+	Type string
+	Raw  []byte
+
+	Header     *Header
+	Progress   *Progress
+	Summary    *Summary
+	Batch      *BatchSummaryRec
+	Census     *CensusRec
+	Fault      *FaultRec
+	Experiment *ExperimentRec
+	Explore    *ExploreRec
+	Stage      *StageRec
+	Lease      *LeaseRec
+	Span       *SpanRec
+}
+
+// ReadJournal streams the JSONL journal in r through fn, decoding each
+// line into a typed Rec. It is torn-tail tolerant: journals are
+// routinely read mid-write or after a crash, so the first undecodable
+// line — a partial JSON object, a line missing its terminating
+// newline, or bytes that are not a v1 record at all — ends the read at
+// the last intact record, reporting torn=true instead of an error
+// (matching the WAL's truncate-at-first-bad-record semantics).
+//
+// Errors returned by fn abort the read and are returned verbatim; read
+// errors from r other than io.EOF are returned as err. torn and err
+// are never both set.
+func ReadJournal(r io.Reader, fn func(Rec) error) (torn bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr == io.EOF {
+			// A terminated journal ends with a newline; trailing bytes
+			// are a torn write, even if they happen to parse.
+			return len(bytes.TrimSpace(line)) > 0, nil
+		}
+		if rerr != nil {
+			return false, rerr
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			continue
+		}
+		rec, ok := decodeRec(trimmed)
+		if !ok {
+			return true, nil
+		}
+		if err := fn(rec); err != nil {
+			return false, err
+		}
+	}
+}
+
+// decodeRec decodes one journal line. ok is false for lines that are
+// not a v1 record (invalid JSON, no "type" field, or a known type
+// whose payload does not decode) — the torn-tail signal.
+func decodeRec(line []byte) (Rec, bool) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil || probe.Type == "" {
+		return Rec{}, false
+	}
+	rec := Rec{Type: probe.Type, Raw: line}
+	var dst any
+	switch probe.Type {
+	case "header":
+		rec.Header = &Header{}
+		dst = rec.Header
+	case "progress":
+		rec.Progress = &Progress{}
+		dst = rec.Progress
+	case "summary":
+		rec.Summary = &Summary{}
+		dst = rec.Summary
+	case "batch_summary":
+		rec.Batch = &BatchSummaryRec{}
+		dst = rec.Batch
+	case "census":
+		rec.Census = &CensusRec{}
+		dst = rec.Census
+	case "fault":
+		rec.Fault = &FaultRec{}
+		dst = rec.Fault
+	case "experiment":
+		rec.Experiment = &ExperimentRec{}
+		dst = rec.Experiment
+	case "explore":
+		rec.Explore = &ExploreRec{}
+		dst = rec.Explore
+	case "stage":
+		rec.Stage = &StageRec{}
+		dst = rec.Stage
+	case "lease":
+		rec.Lease = &LeaseRec{}
+		dst = rec.Lease
+	case "span":
+		rec.Span = &SpanRec{}
+		dst = rec.Span
+	default:
+		return rec, true
+	}
+	if err := json.Unmarshal(line, dst); err != nil {
+		return Rec{}, false
+	}
+	return rec, true
+}

@@ -1,10 +1,16 @@
-// Package report renders plain-text tables for the experiment harness:
-// the Table 1 reproduction and the convergence-time sweeps. Output is
-// aligned ASCII suitable for terminals and for diffing against recorded
-// results.
+// Package report renders tables and series for the experiment harness:
+// the Table 1 reproduction, the convergence-time sweeps, and the
+// campaign pipeline's per-cell artifacts. Tables render as aligned
+// ASCII (terminals, diffing), RFC-4180 CSV (spreadsheets, downstream
+// analysis) and LaTeX tabulars (papers); series render as x/y text,
+// ASCII plots and standalone SVG line charts. All emitters are pure
+// functions of their inputs — no wall-clock, no randomness — so equal
+// data produces byte-identical artifacts.
 package report
 
 import (
+	"encoding/csv"
+	"encoding/xml"
 	"fmt"
 	"io"
 	"strings"
@@ -92,6 +98,75 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
+// RenderCSV writes the table as RFC-4180 CSV: one header row, then the
+// data rows in insertion order (the title is not emitted — CSV
+// consumers want a rectangular file). Quoting and escaping follow
+// encoding/csv, so cells containing commas, quotes or newlines stay
+// one field.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderLaTeX writes the table as a LaTeX tabular (all columns
+// left-aligned, \hline rules, the title as a leading comment). Every
+// cell goes through EscapeLaTeX, so protocol names and fault plans
+// containing _, %, & and the other specials typeset verbatim.
+func (t *Table) RenderLaTeX(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%% %s\n", t.Title)
+	}
+	fmt.Fprintf(&b, "\\begin{tabular}{%s}\n\\hline\n", strings.Repeat("l", len(t.headers)))
+	line := func(cells []string) {
+		esc := make([]string, len(cells))
+		for i, c := range cells {
+			esc[i] = EscapeLaTeX(c)
+		}
+		b.WriteString(strings.Join(esc, " & "))
+		b.WriteString(" \\\\\n")
+	}
+	line(t.headers)
+	b.WriteString("\\hline\n")
+	for _, row := range t.rows {
+		line(row)
+	}
+	b.WriteString("\\hline\n\\end{tabular}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// EscapeLaTeX escapes the ten LaTeX special characters so s typesets
+// as literal text inside a tabular cell.
+func EscapeLaTeX(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\textbackslash{}`)
+		case '&', '%', '$', '#', '_', '{', '}':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		case '~':
+			b.WriteString(`\textasciitilde{}`)
+		case '^':
+			b.WriteString(`\textasciicircum{}`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // Series renders a labeled numeric series ("figure" data) as
 // tab-separated x/y lines with a header, the textual equivalent of one
 // plotted curve.
@@ -122,4 +197,116 @@ func (s *Series) String() string {
 	var b strings.Builder
 	s.Render(&b)
 	return b.String()
+}
+
+// bounds returns the series' x/y extents, widening degenerate (single
+// value) axes by a unit so the plot mapping stays finite.
+func (s *Series) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, xmax = s.X[0], s.X[0]
+	ymin, ymax = s.Y[0], s.Y[0]
+	for i := range s.X {
+		xmin, xmax = min(xmin, s.X[i]), max(xmax, s.X[i])
+		ymin, ymax = min(ymin, s.Y[i]), max(ymax, s.Y[i])
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	return
+}
+
+// RenderASCII draws the series as a width x height character plot:
+// points marked '*', a labeled frame, and the header line Render
+// emits. Dimensions below 2x2 are clamped to 2. An empty series draws
+// only the header and an "(empty series)" note.
+func (s *Series) RenderASCII(w io.Writer, width, height int) {
+	width, height = max(width, 2), max(height, 2)
+	fmt.Fprintf(w, "# series: %s (%s vs %s)\n", s.Name, s.YLabel, s.XLabel)
+	if len(s.X) == 0 {
+		fmt.Fprintln(w, "(empty series)")
+		return
+	}
+	xmin, xmax, ymin, ymax := s.bounds()
+	cells := make([][]byte, height)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range s.X {
+		col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+		row := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+		cells[height-1-row][col] = '*'
+	}
+	// Left gutter carries the y extents; the x extents go under the
+	// frame, anchored to its corners.
+	labels := make([]string, height)
+	labels[0] = fmt.Sprintf("%g", ymax)
+	labels[height-1] = fmt.Sprintf("%g", ymin)
+	gutter := 0
+	for _, l := range labels {
+		gutter = max(gutter, len(l))
+	}
+	for r, line := range cells {
+		fmt.Fprintf(w, "%*s |%s|\n", gutter, labels[r], line)
+	}
+	lo, hi := fmt.Sprintf("%g", xmin), fmt.Sprintf("%g", xmax)
+	fmt.Fprintf(w, "%*s +%s+\n", gutter, "", strings.Repeat("-", width))
+	if pad := width + 2 - len(lo) - len(hi); pad >= 1 {
+		fmt.Fprintf(w, "%*s %s%*s\n", gutter, "", lo, pad+len(hi), hi)
+	} else {
+		fmt.Fprintf(w, "%*s %s .. %s\n", gutter, "", lo, hi)
+	}
+}
+
+// svgMargins inset the plot area within the SVG canvas.
+const (
+	svgMarginLeft   = 52
+	svgMarginRight  = 12
+	svgMarginTop    = 24
+	svgMarginBottom = 32
+)
+
+// RenderSVG writes the series as a standalone SVG line chart of the
+// given pixel dimensions (clamped to at least 120x80): an axes frame,
+// min/max tick labels, the series polyline with point markers, and the
+// name as title. Text content is XML-escaped.
+func (s *Series) RenderSVG(w io.Writer, width, height int) error {
+	width, height = max(width, 120), max(height, 80)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" font-family="monospace" font-size="11">`+"\n", width, height)
+	esc := func(t string) string {
+		var eb strings.Builder
+		xml.EscapeText(&eb, []byte(t))
+		return eb.String()
+	}
+	px0, px1 := float64(svgMarginLeft), float64(width-svgMarginRight)
+	py0, py1 := float64(height-svgMarginBottom), float64(svgMarginTop)
+	fmt.Fprintf(&b, `<text x="%d" y="15">%s (%s vs %s)</text>`+"\n",
+		svgMarginLeft, esc(s.Name), esc(s.YLabel), esc(s.XLabel))
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#888"/>`+"\n",
+		px0, py1, px1-px0, py0-py1)
+	if len(s.X) > 0 {
+		xmin, xmax, ymin, ymax := s.bounds()
+		sx := func(x float64) float64 { return px0 + (x-xmin)/(xmax-xmin)*(px1-px0) }
+		sy := func(y float64) float64 { return py0 - (y-ymin)/(ymax-ymin)*(py0-py1) }
+		var pts strings.Builder
+		for i := range s.X {
+			fmt.Fprintf(&pts, "%.2f,%.2f ", sx(s.X[i]), sy(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="#2166ac" stroke-width="1.5" points="%s"/>`+"\n",
+			strings.TrimSpace(pts.String()))
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="2" fill="#2166ac"/>`+"\n", sx(s.X[i]), sy(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%g</text>`+"\n", px0-4, py1+4, ymax)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%g</text>`+"\n", px0-4, py0+4, ymin)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d">%g</text>`+"\n", px0, height-10, xmin)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="end">%g</text>`+"\n", px1, height-10, xmax)
+	} else {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">(empty series)</text>`+"\n", px0+8, (py0+py1)/2)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
 }

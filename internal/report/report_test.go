@@ -1,6 +1,10 @@
 package report
 
 import (
+	"encoding/xml"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,5 +61,168 @@ func TestSeries(t *testing.T) {
 	}
 	if !strings.Contains(out, "2\t10") || !strings.Contains(out, "4\t40") {
 		t.Errorf("missing points: %s", out)
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>.golden, rewriting the
+// file under -update. Goldens pin the emitters byte-for-byte: campaign
+// artifacts must be identical across runs and execution paths.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// goldenTable exercises the cell naming the campaign actually emits:
+// protocol slugs with underscores, fault plans with % and &, LaTeX
+// specials in free text.
+func goldenTable() *Table {
+	tab := NewTable("campaign cells", "cell", "fault_plan", "note")
+	tab.AddRow("self_stab-agent-p6n4", "@100:corrupt=2", "50% converged")
+	tab.AddRow("asym-count-p6n6", "", "A&B $x_i$ #3 {ok} ~5 ^2 \\")
+	tab.AddRow("a,comma", `quo"ted`, "line\nbreak")
+	return tab
+}
+
+func TestRenderCSVGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenTable().RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table_csv", b.String())
+	// Column order must match the header declaration order.
+	first := strings.SplitN(b.String(), "\n", 2)[0]
+	if first != "cell,fault_plan,note" {
+		t.Errorf("header row = %q", first)
+	}
+}
+
+func TestRenderLaTeXGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenTable().RenderLaTeX(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	golden(t, "table_latex", out)
+	for _, bad := range []string{"fault_plan", "50% conv", "A&B"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("unescaped special survived: %q in\n%s", bad, out)
+		}
+	}
+	for _, want := range []string{`fault\_plan`, `50\% converged`, `A\&B`, `\textbackslash{}`, `\textasciitilde{}`, `\textasciicircum{}`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing escape %q in\n%s", want, out)
+		}
+	}
+}
+
+func TestEscapeLaTeX(t *testing.T) {
+	cases := map[string]string{
+		"plain": "plain",
+		"a_b":   `a\_b`,
+		"100%":  `100\%`,
+		"a&b":   `a\&b`,
+		"$#{}":  `\$\#\{\}`,
+		`\~^`:   `\textbackslash{}\textasciitilde{}\textasciicircum{}`,
+	}
+	for in, want := range cases {
+		if got := EscapeLaTeX(in); got != want {
+			t.Errorf("EscapeLaTeX(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func goldenSeries() *Series {
+	s := &Series{Name: "convergence_cdf p=6", XLabel: "steps", YLabel: "fraction <= x"}
+	for i, st := range []float64{120, 250, 250, 400, 900} {
+		s.Add(st, float64(i+1)/5)
+	}
+	return s
+}
+
+func TestRenderASCIIGolden(t *testing.T) {
+	var b strings.Builder
+	goldenSeries().RenderASCII(&b, 40, 10)
+	golden(t, "series_ascii", b.String())
+}
+
+func TestRenderSVGGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenSeries().RenderSVG(&b, 320, 200); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	golden(t, "series_svg", out)
+	if !strings.Contains(out, "&lt;= x") {
+		t.Error("SVG text not XML-escaped")
+	}
+	if err := xml.Unmarshal([]byte(out), new(struct{ XMLName xml.Name })); err != nil {
+		t.Errorf("SVG is not well-formed XML: %v", err)
+	}
+}
+
+func TestRenderEmptySeries(t *testing.T) {
+	s := &Series{Name: "empty", XLabel: "x", YLabel: "y"}
+	var a, v strings.Builder
+	s.RenderASCII(&a, 20, 5)
+	if !strings.Contains(a.String(), "(empty series)") {
+		t.Errorf("ASCII empty note missing:\n%s", a.String())
+	}
+	if err := s.RenderSVG(&v, 200, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.String(), "(empty series)") {
+		t.Errorf("SVG empty note missing:\n%s", v.String())
+	}
+}
+
+func TestRenderDegenerateSeries(t *testing.T) {
+	s := &Series{Name: "flat", XLabel: "x", YLabel: "y"}
+	s.Add(3, 1)
+	s.Add(3, 1) // identical points: both axes degenerate
+	var a, v strings.Builder
+	s.RenderASCII(&a, 10, 4) // must not divide by zero
+	if err := s.RenderSVG(&v, 200, 100); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(v.String(), "NaN") || strings.Contains(a.String(), "NaN") {
+		t.Error("degenerate series produced NaN coordinates")
+	}
+}
+
+// Emitters must be pure: rendering twice yields identical bytes.
+func TestRenderersDeterministic(t *testing.T) {
+	render := func() string {
+		var b strings.Builder
+		if err := goldenTable().RenderCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := goldenTable().RenderLaTeX(&b); err != nil {
+			t.Fatal(err)
+		}
+		goldenSeries().RenderASCII(&b, 40, 10)
+		if err := goldenSeries().RenderSVG(&b, 320, 200); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render() != render() {
+		t.Error("renderers are not deterministic")
 	}
 }

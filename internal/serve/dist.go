@@ -98,11 +98,11 @@ func (s *Server) runShardLocal(j *Job, ctx context.Context, r dist.Range) ([][]b
 	sink := &lineSink{}
 	bo := sim.BatchObs{Sink: sink, ProgressEvery: sp.ProgressEvery}
 	if sp.Engine == "count" {
-		sim.RunCountBatchRange(ctx, j.v.proto, r.Lo, r.Hi, sp.Budget, sp.Workers, bo, s.countTrialMaker(j))
+		sim.RunCountBatchRange(ctx, j.v.proto, r.Lo, r.Hi, sp.Budget, sp.Workers, bo, countTrialMaker(j.v))
 	} else {
 		sup := j.supervision()
 		sup.Sink = sink
-		sim.RunBatchRangeSupervised(ctx, j.v.proto, r.Lo, r.Hi, sp.Workers, sup, bo, s.batchTrialMaker(j))
+		sim.RunBatchRangeSupervised(ctx, j.v.proto, r.Lo, r.Hi, sp.Workers, sup, bo, batchTrialMaker(j.v))
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -441,6 +441,62 @@ func defaultBudget(kind string) int {
 	return 50_000_000
 }
 
+// Prepared is a job spec that passed the service's admission
+// validation: defaults filled, seed resolved, protocol instantiated,
+// fault plan parsed and capability-checked. It exposes the exact
+// execution recipe the service workers use — trial seeds, supervision
+// bounds, stream header — to in-process embedders: the campaign
+// pipeline (internal/grid) runs grid cells through it so a local cell
+// run is record-for-record identical to the same cell submitted to a
+// ppserved node.
+type Prepared struct {
+	v *validated
+}
+
+// Prepare validates spec exactly as POST /v1/jobs admission does and
+// returns the prepared job. The error, when non-nil, is the *Error the
+// service would have answered with.
+func Prepare(spec Spec) (*Prepared, error) {
+	v, e := prepare(spec)
+	if e != nil {
+		return nil, e
+	}
+	return &Prepared{v: v}, nil
+}
+
+// Spec returns the normalized spec: defaults filled and seed resolved,
+// the canonical form the service hashes for its result cache. Posting
+// it to a ppserved node re-validates to the identical spec.
+func (p *Prepared) Spec() Spec { return p.v.spec }
+
+// Proto returns the instantiated protocol (nil for table1 jobs).
+func (p *Prepared) Proto() core.Protocol { return p.v.proto }
+
+// SeedDerived reports whether the seed was auto-derived at Prepare.
+func (p *Prepared) SeedDerived() bool { return p.v.seedDerived }
+
+// Header returns the v1 stream header the service would emit for this
+// job, under the given tool name.
+func (p *Prepared) Header(tool string) obs.Header { return headerFor(p.v, tool) }
+
+// TrialMaker returns the per-trial constructor for agent-engine
+// batches, with the service's seed recipe (see batchTrialMaker).
+func (p *Prepared) TrialMaker() func(trial, attempt int) sim.Trial {
+	return batchTrialMaker(p.v)
+}
+
+// CountTrialMaker returns the per-trial constructor for count-engine
+// batches, with the service's seed recipe (see countTrialMaker).
+func (p *Prepared) CountTrialMaker() func(trial int) sim.CountTrial {
+	return countTrialMaker(p.v)
+}
+
+// Supervision returns the sim.Supervision for the spec's bounds, wired
+// to sink (tracing disabled).
+func (p *Prepared) Supervision(sink obs.Sink) sim.Supervision {
+	return supervisionFor(p.v, sink)
+}
+
 // JobSummary condenses a finished job's outcome for the job view (the
 // full per-trial detail is in the result stream).
 type JobSummary struct {

@@ -78,12 +78,12 @@ func buildScheduler(proto core.Protocol, n int, schedKey string, seed int64) (sc
 	}
 }
 
-// header builds the job's stream header. It is the first record of
-// every result stream; its seed is the resolved one, so the stream is
-// self-describing for replay.
-func (j *Job) header() obs.Header {
-	sp := j.v.spec
-	hdr := obs.NewHeader("ppserved")
+// headerFor builds a validated spec's stream header under the given
+// tool name. It is the first record of every result stream; its seed
+// is the resolved one, so the stream is self-describing for replay.
+func headerFor(v *validated, tool string) obs.Header {
+	sp := v.spec
+	hdr := obs.NewHeader(tool)
 	hdr.N = sp.N
 	hdr.Scheduler = sp.Sched
 	hdr.Init = sp.Init
@@ -91,38 +91,50 @@ func (j *Job) header() obs.Header {
 	hdr.Trials = sp.Trials
 	hdr.Workers = sp.Workers
 	hdr.Seed = sp.Seed
-	hdr.SeedDerived = j.v.seedDerived
-	if j.v.proto != nil {
-		hdr.Protocol = j.v.proto.Name()
-		hdr.P = j.v.proto.P()
-		hdr.States = j.v.proto.States()
-		hdr.Leader = core.HasLeader(j.v.proto)
+	hdr.SeedDerived = v.seedDerived
+	if v.proto != nil {
+		hdr.Protocol = v.proto.Name()
+		hdr.P = v.proto.P()
+		hdr.States = v.proto.States()
+		hdr.Leader = core.HasLeader(v.proto)
 	} else {
 		hdr.P = sp.P
 	}
 	if sp.Engine == "count" {
 		hdr.Engine = "count"
 	}
+	return hdr
+}
+
+// header builds the job's stream header.
+func (j *Job) header() obs.Header {
+	hdr := headerFor(j.v, "ppserved")
 	if j.traceID != 0 {
 		hdr.Trace = j.traceID.String()
 	}
 	return hdr
 }
 
-// supervision translates the spec's bounds into a sim.Supervision
-// wired to the job's result buffer, carrying the job's trace context
-// (disabled for untraced jobs) so attempt/slice spans parent under the
-// job's root span.
-func (j *Job) supervision() sim.Supervision {
-	sp := j.v.spec
+// supervisionFor translates a validated spec's bounds into a
+// sim.Supervision wired to sink (tracing disabled).
+func supervisionFor(v *validated, sink obs.Sink) sim.Supervision {
+	sp := v.spec
 	return sim.Supervision{
 		StepBudget: sp.Budget,
 		Deadline:   time.Duration(sp.DeadlineMS) * time.Millisecond,
 		StallQuiet: sp.Stall,
 		Retries:    sp.Retries,
-		Sink:       j.buf,
-		Trace:      j.traceCtx(),
+		Sink:       sink,
 	}
+}
+
+// supervision is supervisionFor against the job's result buffer,
+// carrying the job's trace context (disabled for untraced jobs) so
+// attempt/slice spans parent under the job's root span.
+func (j *Job) supervision() sim.Supervision {
+	sup := supervisionFor(j.v, j.buf)
+	sup.Trace = j.traceCtx()
+	return sup
 }
 
 // execute runs the job's workload on the worker goroutine, streaming
@@ -266,9 +278,9 @@ func (s *Server) runCountSim(j *Job) error {
 // batches: trialSeed = DeriveSeed(jobSeed, trial, 0), engine seed
 // trialSeed+1 (the scheduler-seed role). The trial index is the global
 // one, so the same maker serves full batches and shard ranges.
-func (s *Server) countTrialMaker(j *Job) func(trial int) sim.CountTrial {
-	sp := j.v.spec
-	pr := j.v.proto
+func countTrialMaker(v *validated) func(trial int) sim.CountTrial {
+	sp := v.spec
+	pr := v.proto
 	return func(trial int) sim.CountTrial {
 		seed := sim.DeriveSeed(sp.Seed, trial, 0)
 		cc, _ := buildCountStart(pr, sp.N, sp.Init)
@@ -281,16 +293,16 @@ func (s *Server) countTrialMaker(j *Job) func(trial int) sim.CountTrial {
 // DeriveSeed(jobSeed, trial, attempt), scheduler seed trialSeed+1,
 // injector seeded with trialSeed. Global trial indexes, like
 // countTrialMaker.
-func (s *Server) batchTrialMaker(j *Job) func(trial, attempt int) sim.Trial {
-	sp := j.v.spec
-	pr := j.v.proto
+func batchTrialMaker(v *validated) func(trial, attempt int) sim.Trial {
+	sp := v.spec
+	pr := v.proto
 	return func(trial, attempt int) sim.Trial {
 		seed := sim.DeriveSeed(sp.Seed, trial, attempt)
 		cfg, _ := buildConfig(pr, sp.N, sp.Init, seed)
 		sc, _ := buildScheduler(pr, sp.N, sp.Sched, seed+1)
 		t := sim.Trial{Cfg: cfg, Sched: sc}
-		if !j.v.plan.Empty() {
-			inj, _ := fault.NewInjector(j.v.plan, pr, seed)
+		if !v.plan.Empty() {
+			inj, _ := fault.NewInjector(v.plan, pr, seed)
 			t.Inject = inj
 		}
 		return t
@@ -317,7 +329,7 @@ func (s *Server) runCountBatch(j *Job) error {
 	pr := j.v.proto
 	lo, hi := j.shardRange()
 	bo := sim.BatchObs{Sink: j.buf, ProgressEvery: sp.ProgressEvery}
-	sum := sim.RunCountBatchRange(j.ctx, pr, lo, hi, sp.Budget, sp.Workers, bo, s.countTrialMaker(j))
+	sum := sim.RunCountBatchRange(j.ctx, pr, lo, hi, sp.Budget, sp.Workers, bo, countTrialMaker(j.v))
 	j.setSummary(&JobSummary{
 		Trials:          sum.Trials,
 		TrialsConverged: sum.Converged,
@@ -344,7 +356,7 @@ func (s *Server) runBatch(j *Job) error {
 	pr := j.v.proto
 	lo, hi := j.shardRange()
 	bo := sim.BatchObs{Sink: j.buf, ProgressEvery: sp.ProgressEvery}
-	sum := sim.RunBatchRangeSupervised(j.ctx, pr, lo, hi, sp.Workers, j.supervision(), bo, s.batchTrialMaker(j))
+	sum := sim.RunBatchRangeSupervised(j.ctx, pr, lo, hi, sp.Workers, j.supervision(), bo, batchTrialMaker(j.v))
 	j.setSummary(&JobSummary{
 		Trials:          sum.Trials,
 		TrialsConverged: sum.Converged,

@@ -23,7 +23,8 @@ type Summary struct {
 }
 
 // Summarize computes summary statistics; it returns the zero Summary
-// for an empty sample.
+// for an empty sample and a NaN-free Summary (StdDev 0, all order
+// statistics equal to the element) for a single-element one.
 func Summarize(sample []float64) Summary {
 	if len(sample) == 0 {
 		return Summary{}
@@ -54,11 +55,14 @@ func Summarize(sample []float64) Summary {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
-// sample using linear interpolation. It panics on an empty sample or an
-// out-of-range q.
+// sample using linear interpolation. An empty sample yields 0 (never
+// NaN): the grid reducer feeds cells where every trial aborted, and a
+// zero quantile folds into reports where a panic or NaN would poison
+// them. A single-element sample yields that element for every q. It
+// panics on an out-of-range q.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
-		panic("stats: empty sample")
+		return 0
 	}
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))

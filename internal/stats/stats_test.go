@@ -22,9 +22,25 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeEmpty pins the zero-Summary contract the grid reducer
+// relies on: a cell where every trial aborted must fold to zeros, not
+// NaNs or a panic.
 func TestSummarizeEmpty(t *testing.T) {
-	if s := Summarize(nil); s.Count != 0 {
+	s := Summarize(nil)
+	if s != (Summary{}) {
 		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+// TestSummarizeSingle: one-element samples must be NaN-free with every
+// order statistic equal to the element.
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Count != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.P90 != 7 {
+		t.Fatalf("single-element summary: %+v", s)
+	}
+	if s.StdDev != 0 || math.IsNaN(s.StdDev) {
+		t.Fatalf("single-element sd: %v", s.StdDev)
 	}
 }
 
@@ -40,20 +56,29 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
-func TestQuantilePanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { Quantile(nil, 0.5) },
-		func() { Quantile([]float64{1}, 1.5) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("no panic")
-				}
-			}()
-			fn()
-		}()
+// TestQuantileGuards: empty samples yield 0 instead of panicking (see
+// Summarize's empty-cell contract), single-element samples yield the
+// element at every q; only an out-of-range q still panics.
+func TestQuantileGuards(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
 	}
+	for _, q := range []float64{0, 0.5, 0.9, 1} {
+		if got := Quantile([]float64{3}, q); got != 3 {
+			t.Errorf("Quantile([3], %v) = %v, want 3", q, got)
+		}
+		if got := Quantile(nil, q); math.IsNaN(got) {
+			t.Errorf("Quantile(nil, %v) is NaN", q)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on out-of-range q")
+			}
+		}()
+		Quantile([]float64{1}, 1.5)
+	}()
 }
 
 // TestFitExp2Recovers: synthesize y = 3 * 2^(0.9 x) and recover the
